@@ -1,0 +1,94 @@
+#include "bench/baseline_queries.h"
+
+namespace jparbench {
+
+using jpar::Item;
+using jpar::Result;
+using jpar::Status;
+
+bool IsChristmasFrom2003(const std::string& date) {
+  return date.size() >= 8 && date.substr(0, 4) >= "2003" &&
+         date.substr(4, 4) == "1225";
+}
+
+Result<std::vector<std::string>> DocStoreQ0b(const jpar::DocStore& db) {
+  std::vector<std::string> out;
+  JPAR_RETURN_NOT_OK(db.ForEachDocument([&](const Item& doc) -> Status {
+    std::optional<Item> results = doc.GetField("results");
+    if (!results.has_value() || !results->is_array()) return Status::OK();
+    for (const Item& m : results->array()) {
+      std::optional<Item> date = m.GetField("date");
+      if (date.has_value() && date->is_string() &&
+          IsChristmasFrom2003(date->string_value())) {
+        out.push_back(date->string_value());
+      }
+    }
+    return Status::OK();
+  }));
+  return out;
+}
+
+Result<std::map<std::string, int64_t>> ScanQ1(
+    const std::function<Status(
+        const std::function<Status(const Item&)>&)>& for_each) {
+  std::map<std::string, int64_t> counts;
+  JPAR_RETURN_NOT_OK(for_each([&](const Item& doc) -> Status {
+    // Accepts wrapped files ({"root": [...]}) and unwrapped documents.
+    std::optional<Item> root = doc.GetField("root");
+    auto per_record = [&](const Item& record) {
+      std::optional<Item> results = record.GetField("results");
+      if (!results.has_value() || !results->is_array()) return;
+      for (const Item& m : results->array()) {
+        std::optional<Item> type = m.GetField("dataType");
+        std::optional<Item> date = m.GetField("date");
+        if (type.has_value() && type->is_string() &&
+            type->string_value() == "TMIN" && date.has_value() &&
+            date->is_string()) {
+          ++counts[date->string_value()];
+        }
+      }
+    };
+    if (root.has_value() && root->is_array()) {
+      for (const Item& record : root->array()) per_record(record);
+    } else {
+      per_record(doc);
+    }
+    return Status::OK();
+  }));
+  return counts;
+}
+
+Result<double> DocStoreQ2(const jpar::DocStore& db) {
+  // $unwind results + $project the join fields.
+  JPAR_ASSIGN_OR_RETURN(
+      std::vector<Item> measurements,
+      db.UnwindProject("results", {"station", "date", "dataType", "value"}));
+  // Join TMIN x TMAX on (station, date).
+  std::map<std::pair<std::string, std::string>, std::vector<int64_t>> tmin;
+  double sum = 0;
+  int64_t count = 0;
+  for (const Item& m : measurements) {
+    std::optional<Item> type = m.GetField("dataType");
+    if (!type.has_value() || !type->is_string()) continue;
+    if (type->string_value() != "TMIN") continue;
+    tmin[{m.GetField("station")->string_value(),
+          m.GetField("date")->string_value()}]
+        .push_back(m.GetField("value")->int64_value());
+  }
+  for (const Item& m : measurements) {
+    std::optional<Item> type = m.GetField("dataType");
+    if (!type.has_value() || !type->is_string()) continue;
+    if (type->string_value() != "TMAX") continue;
+    auto it = tmin.find({m.GetField("station")->string_value(),
+                         m.GetField("date")->string_value()});
+    if (it == tmin.end()) continue;
+    int64_t mx = m.GetField("value")->int64_value();
+    for (int64_t mn : it->second) {
+      sum += static_cast<double>(mx - mn);
+      ++count;
+    }
+  }
+  return count > 0 ? (sum / static_cast<double>(count)) / 10.0 : 0.0;
+}
+
+}  // namespace jparbench

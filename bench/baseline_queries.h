@@ -1,0 +1,43 @@
+#ifndef JPAR_BENCH_BASELINE_QUERIES_H_
+#define JPAR_BENCH_BASELINE_QUERIES_H_
+
+// Hand-written query implementations for the DocStore (MongoDB model)
+// and MemTable (Spark SQL model) baselines. These systems are queried
+// through their own APIs (find/aggregate pipelines, DataFrame scans),
+// not through JSONiq — mirroring how the paper drove them.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/docstore.h"
+#include "baselines/memtable.h"
+#include "common/result.h"
+#include "json/item.h"
+
+namespace jparbench {
+
+/// Q0b against a document store holding unwrapped {metadata, results}
+/// documents: for every measurement date on a December 25 of 2003+,
+/// collect the date string.
+jpar::Result<std::vector<std::string>> DocStoreQ0b(const jpar::DocStore& db);
+
+/// Q1 against an in-memory table of documents: count TMIN measurements
+/// grouped by date. Returns date -> count.
+jpar::Result<std::map<std::string, int64_t>> ScanQ1(
+    const std::function<jpar::Status(
+        const std::function<jpar::Status(const jpar::Item&)>&)>& for_each);
+
+/// Q2 against a document store: the paper's MongoDB plan — $unwind the
+/// results array, $project (station, date, dataType, value), then join
+/// TMIN against TMAX on (station, date) and average the differences.
+jpar::Result<double> DocStoreQ2(const jpar::DocStore& db);
+
+/// Helper shared by baseline Q0b variants: true for "YYYY1225..."
+/// dates with YYYY >= 2003.
+bool IsChristmasFrom2003(const std::string& date);
+
+}  // namespace jparbench
+
+#endif  // JPAR_BENCH_BASELINE_QUERIES_H_

@@ -1,0 +1,49 @@
+// Ablation (beyond the paper): exchange frame size vs Q1 performance.
+// The pipelining rules exist so tuples fit Hyracks' "dataflow frame
+// size restriction" (paper §4.2); this sweep shows the exchange-layer
+// behaviour across frame sizes, including the oversized-frame count
+// when tuples do not fit.
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(8ull * 1024 * 1024);
+  PrintTableHeader("Ablation: frame size vs Q1 (4 partitions)",
+                   {"frame", "time", "frames", "oversized"});
+  for (size_t frame_bytes :
+       {size_t{1} * 1024, size_t{4} * 1024, size_t{32} * 1024,
+        size_t{128} * 1024, size_t{1024} * 1024}) {
+    EngineOptions options;
+    options.exec.partitions = 4;
+    options.exec.frame_bytes = frame_bytes;
+    Engine engine(options);
+    engine.catalog()->RegisterCollection("/sensors", data);
+    auto compiled = engine.Compile(kQ1);
+    CheckOk(compiled.status(), "compile");
+    double ms = 0;
+    uint64_t frames = 0, oversized = 0;
+    for (int i = 0; i < Repeats(); ++i) {
+      auto result = engine.Execute(*compiled);
+      CheckOk(result.status(), "execute");
+      ms += result->stats.real_ms;
+      frames = oversized = 0;
+      for (const jpar::StageStats& s : result->stats.stages) {
+        frames += s.exchange_frames;
+        oversized += s.oversized_frames;
+      }
+    }
+    PrintTableRow({FormatBytes(frame_bytes), FormatMs(ms / Repeats()),
+                   std::to_string(frames), std::to_string(oversized)});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

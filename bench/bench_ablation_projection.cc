@@ -1,0 +1,48 @@
+// Ablation (beyond the paper): DATASCAN second-argument depth. The
+// paper observes Q0b (which pushes ("date") into the scan) beats Q0;
+// this sweep generalizes: the deeper the pushed path, the less JSON is
+// materialized. Counts the items and bytes the scan materializes per
+// variant.
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(8ull * 1024 * 1024);
+  struct Variant {
+    const char* label;
+    const char* query;
+  };
+  const Variant variants[] = {
+      {"whole file",
+       R"(for $r in collection("/sensors")() return count($r))"},
+      {"root()", R"(
+        for $r in collection("/sensors")("root")()
+        return count($r("metadata")))"},
+      {"root()results()", R"(
+        for $r in collection("/sensors")("root")()("results")()
+        return count($r("station")))"},
+      {"...results()date", R"(
+        for $r in collection("/sensors")("root")()("results")()("date")
+        return count($r))"},
+  };
+  PrintTableHeader("Ablation: scan projection depth (all rules on)",
+                   {"projection", "time", "rows", "pipeline-bytes"});
+  for (const Variant& v : variants) {
+    Engine engine = MakeSensorEngine(data, RuleOptions::All(), 1);
+    Measurement m = RunQuery(engine, v.query);
+    PrintTableRow({v.label, FormatMs(m.real_ms),
+                   std::to_string(m.result_rows),
+                   FormatBytes(m.pipeline_bytes)});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

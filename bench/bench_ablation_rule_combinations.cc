@@ -1,0 +1,38 @@
+// Ablation (beyond the paper): every combination of the three rule
+// categories on Q1 — the paper only reports cumulative stacking
+// (path, then +pipelining, then +group-by). This isolates each
+// category's independent contribution and their interactions (e.g.
+// the pipelining rules depend on the path rules to fuse
+// keys-or-members first).
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(4ull * 1024 * 1024);
+  PrintTableHeader("Ablation: rule-category combinations on Q1",
+                   {"path", "pipelining", "group-by", "time", "max-tuple"});
+  for (int mask = 0; mask < 8; ++mask) {
+    RuleOptions rules = RuleOptions::None();
+    rules.path_rules = (mask & 1) != 0;
+    rules.pipelining_rules = (mask & 2) != 0;
+    rules.groupby_rules = (mask & 4) != 0;
+    rules.two_step_aggregation = rules.groupby_rules;
+    Engine engine = MakeSensorEngine(data, rules, 1);
+    Measurement m = RunQuery(engine, kQ1);
+    PrintTableRow({rules.path_rules ? "on" : "off",
+                   rules.pipelining_rules ? "on" : "off",
+                   rules.groupby_rules ? "on" : "off",
+                   FormatMs(m.real_ms), FormatBytes(m.max_tuple_bytes)});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (beyond the paper): Algebricks' two-step aggregation in
+// isolation. The paper activates it as part of the group-by rules
+// (§4.3, "each partition can calculate locally the count function on
+// its data") but never isolates its effect. This sweeps partition
+// counts for Q1 with and without local pre-aggregation and reports the
+// exchanged tuple volume — the quantity two-step aggregation shrinks.
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(8ull * 1024 * 1024);
+  PrintTableHeader(
+      "Ablation: two-step aggregation on Q1",
+      {"partitions", "mode", "makespan", "exchanged", "exch-bytes"});
+  for (int partitions : {4, 16, 36}) {
+    for (bool two_step : {false, true}) {
+      RuleOptions rules = RuleOptions::All();
+      rules.two_step_aggregation = two_step;
+      Engine engine = MakeSensorEngine(data, rules, partitions, 4);
+      auto compiled = engine.Compile(kQ1);
+      CheckOk(compiled.status(), "compile");
+      double ms = 0;
+      uint64_t tuples = 0, bytes = 0;
+      for (int i = 0; i < Repeats(); ++i) {
+        auto result = engine.Execute(*compiled);
+        CheckOk(result.status(), "execute");
+        ms += result->stats.makespan_ms;
+        tuples = bytes = 0;
+        for (const jpar::StageStats& s : result->stats.stages) {
+          tuples += s.exchange_tuples;
+          bytes += s.exchange_bytes;
+        }
+      }
+      PrintTableRow({std::to_string(partitions),
+                     two_step ? "local+global" : "single-step",
+                     FormatMs(ms / Repeats()), std::to_string(tuples),
+                     FormatBytes(bytes)});
+    }
+  }
+  std::printf(
+      "\n(single-step ships every matching tuple to the hash exchange;\n"
+      " two-step ships one partial per (partition, group).)\n");
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef JPAR_BENCH_BENCH_COMMON_H_
+#define JPAR_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Scaling: the paper's datasets (400 MB .. 803 GB) are scaled down so
+// every bench completes in seconds on one core; the quantities compared
+// (ratios between systems/configurations, speed-up and scale-up curves)
+// are scale-free. Set JPAR_BENCH_SCALE (a float, default 1.0) to grow
+// or shrink all datasets proportionally.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/queries.h"
+#include "core/engine.h"
+#include "data/sensor_generator.h"
+
+namespace jparbench {
+
+using jpar::Collection;
+using jpar::Engine;
+using jpar::EngineOptions;
+using jpar::QueryOutput;
+using jpar::RuleOptions;
+using jpar::SensorDataSpec;
+
+/// Global dataset scale factor from JPAR_BENCH_SCALE (default 1.0).
+double ScaleFactor();
+
+/// Repetitions per measurement from JPAR_BENCH_REPEATS (default 3; the
+/// paper uses 5 runs and reports the average).
+int Repeats();
+
+/// Builds (and memoizes per process) a sensor collection of roughly
+/// `base_bytes * ScaleFactor()` bytes.
+const Collection& SensorData(uint64_t base_bytes,
+                             int measurements_per_array = 30,
+                             uint64_t seed = 42);
+
+/// An engine with the given rule configuration and parallelism, with
+/// the sensor collection registered as "/sensors".
+Engine MakeSensorEngine(const Collection& data, RuleOptions rules,
+                        int partitions = 1, int partitions_per_node = 4);
+
+/// Result of a repeated measurement.
+struct Measurement {
+  double real_ms = 0;       // average wall-clock per run
+  double makespan_ms = 0;   // average simulated-parallel time per run
+  uint64_t result_rows = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t max_tuple_bytes = 0;
+  uint64_t pipeline_bytes = 0;  // frame bytes between operators
+};
+
+/// Runs `query` Repeats() times and averages.
+Measurement RunQuery(const Engine& engine, const char* query);
+
+/// stdout table helpers (fixed-width, paper-style).
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string FormatMs(double ms);
+std::string FormatBytes(uint64_t bytes);
+
+/// Fails the process with a message when a bench hits an error (benches
+/// are not tests, but must not silently print garbage).
+void CheckOk(const jpar::Status& status, const char* context);
+
+}  // namespace jparbench
+
+#endif  // JPAR_BENCH_BENCH_COMMON_H_

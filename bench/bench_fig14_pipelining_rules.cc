@@ -1,0 +1,45 @@
+// Figure 14: execution time (log scale in the paper) before and after
+// the pipelining rules, with path rules already enabled (paper §5.3).
+// The paper reports ~two orders of magnitude improvement; the largest
+// serialized tuple shrinking from whole-collection scale to one object
+// is the mechanism, so we print it too.
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(4ull * 1024 * 1024);
+
+  RuleOptions before = RuleOptions::None();
+  before.path_rules = true;
+
+  RuleOptions after = before;
+  after.pipelining_rules = true;
+
+  PrintTableHeader(
+      "Figure 14: before/after pipelining rules (path rules enabled)",
+      {"query", "before", "after", "speedup", "peak-mem(before)",
+       "peak-mem(after)"});
+  for (const NamedQuery& q : kAllQueries) {
+    Engine eb = MakeSensorEngine(data, before, 1);
+    Engine ea = MakeSensorEngine(data, after, 1);
+    Measurement mb = RunQuery(eb, q.text);
+    Measurement ma = RunQuery(ea, q.text);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  mb.real_ms / (ma.real_ms > 0 ? ma.real_ms : 1));
+    PrintTableRow({q.name, FormatMs(mb.real_ms), FormatMs(ma.real_ms),
+                   speedup, FormatBytes(mb.peak_bytes),
+                   FormatBytes(ma.peak_bytes)});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

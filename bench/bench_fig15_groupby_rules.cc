@@ -1,0 +1,44 @@
+// Figure 15: execution time before and after the group-by rules, with
+// path + pipelining rules already enabled (paper §5.3). Q0/Q0b/Q2 are
+// unaffected (no group-by); Q1 and Q1b improve via the pushed-down
+// incremental COUNT.
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(4ull * 1024 * 1024);
+
+  RuleOptions before = RuleOptions::None();
+  before.path_rules = true;
+  before.pipelining_rules = true;
+
+  RuleOptions after = before;
+  after.groupby_rules = true;
+  after.two_step_aggregation = true;
+
+  PrintTableHeader(
+      "Figure 15: before/after group-by rules (path+pipelining enabled)",
+      {"query", "before", "after", "speedup"});
+  for (const NamedQuery& q : kAllQueries) {
+    Engine eb = MakeSensorEngine(data, before, 1);
+    Engine ea = MakeSensorEngine(data, after, 1);
+    Measurement mb = RunQuery(eb, q.text);
+    Measurement ma = RunQuery(ea, q.text);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  mb.real_ms / (ma.real_ms > 0 ? ma.real_ms : 1));
+    PrintTableRow({q.name, FormatMs(mb.real_ms), FormatMs(ma.real_ms),
+                   speedup});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 16: Q1 execution time (log scale) before/after ALL rewrite
+// rules for growing collection sizes (paper: 100..400 MB; scaled:
+// 1..4 MB x JPAR_BENCH_SCALE). Shows the system scaling proportionally
+// with data size in both configurations.
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  PrintTableHeader("Figure 16: Q1 vs collection size, before/after all rules",
+                   {"size", "before", "after", "speedup"});
+  for (uint64_t mb : {1, 2, 3, 4}) {
+    const Collection& data = SensorData(mb * 1024 * 1024);
+    Engine eb = MakeSensorEngine(data, RuleOptions::None(), 1);
+    Engine ea = MakeSensorEngine(data, RuleOptions::All(), 1);
+    Measurement before = RunQuery(eb, kQ1);
+    Measurement after = RunQuery(ea, kQ1);
+    char size[32], speedup[32];
+    std::snprintf(size, sizeof(size), "%llux100MB",
+                  static_cast<unsigned long long>(mb));
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  before.real_ms / (after.real_ms > 0 ? after.real_ms : 1));
+    PrintTableRow({size, FormatMs(before.real_ms), FormatMs(after.real_ms),
+                   speedup});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

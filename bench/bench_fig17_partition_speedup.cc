@@ -1,0 +1,43 @@
+// Figure 17: single-node speed-up for 1/2/4/8 partitions on all five
+// queries (paper: 88 GB on a 4-core node; 8 partitions use
+// hyperthreads and do NOT improve over 4). Scaled: 16 MB x
+// JPAR_BENCH_SCALE. Times are the simulated-parallel makespan (the
+// reproduction host has one core; see DESIGN.md), with partition tasks
+// LPT-scheduled onto the node's 4 modeled cores — which reproduces the
+// hyperthreading plateau.
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(16ull * 1024 * 1024);
+  const int kPartitions[] = {1, 2, 4, 8};
+
+  PrintTableHeader(
+      "Figure 17: single-node speed-up (makespan, 4 modeled cores)",
+      {"query", "1 part", "2 parts", "4 parts", "8 parts (HT)"});
+  for (const NamedQuery& q : kAllQueries) {
+    std::vector<std::string> row = {q.name};
+    for (int p : kPartitions) {
+      // All partitions live on one node: partitions_per_node == 8.
+      Engine engine = MakeSensorEngine(data, RuleOptions::All(), p, 8);
+      Measurement m = RunQuery(engine, q.text);
+      row.push_back(FormatMs(m.makespan_ms));
+    }
+    PrintTableRow(row);
+  }
+  std::printf(
+      "\n(8 partitions map onto 4 modeled cores, so the last column\n"
+      " should roughly match the 4-partition column — the paper's\n"
+      " hyperthreading observation.)\n");
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

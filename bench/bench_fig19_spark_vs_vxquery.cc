@@ -1,0 +1,72 @@
+// Figure 19 + Table 2: Spark SQL (MemTable model) vs VXQuery on Q1 for
+// growing data sizes (paper: 400/800/1000 MB on one core; scaled:
+// 4/8/10 MB x JPAR_BENCH_SCALE).
+//
+// Paper shape: Spark's query-only time wins on small inputs, the two
+// systems meet in the middle, VXQuery wins as data grows — and once
+// Spark's load time is charged, VXQuery wins everywhere. Spark also
+// cannot load datasets beyond its memory (reported as OOM).
+
+#include <chrono>
+
+#include "baselines/memtable.h"
+#include "bench/baseline_queries.h"
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void Run() {
+  PrintTableHeader(
+      "Figure 19: Q1, Spark SQL vs VXQuery (single core)",
+      {"size", "spark-load", "spark-query", "spark-total", "vxquery"});
+  for (uint64_t mb : {4, 8, 10}) {
+    const Collection& data = SensorData(mb * 1024 * 1024);
+
+    jpar::MemTable spark;
+    auto load = spark.Load(data);
+    CheckOk(load.status(), "spark load");
+
+    double query_ms = 0;
+    for (int i = 0; i < Repeats(); ++i) {
+      auto start = Clock::now();
+      auto counts = ScanQ1([&](auto fn) { return spark.ForEachDocument(fn); });
+      CheckOk(counts.status(), "spark q1");
+      query_ms +=
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+    }
+    query_ms /= Repeats();
+
+    Engine vx = MakeSensorEngine(data, RuleOptions::All(), 1);
+    Measurement vxm = RunQuery(vx, kQ1);
+
+    char size[32];
+    std::snprintf(size, sizeof(size), "%llux100MB",
+                  static_cast<unsigned long long>(mb));
+    PrintTableRow({size, FormatMs(load->load_ms), FormatMs(query_ms),
+                   FormatMs(load->load_ms + query_ms),
+                   FormatMs(vxm.real_ms)});
+  }
+
+  // The OOM cliff: a memory-limited Spark cannot load at all.
+  const Collection& big = SensorData(10ull * 1024 * 1024);
+  jpar::MemTableOptions limited;
+  limited.memory_limit_bytes = 4ull * 1024 * 1024;  // smaller than the data
+  jpar::MemTable spark(limited);
+  auto load = spark.Load(big);
+  std::printf(
+      "\nMemory-limited Spark load (4MB limit, ~10MB input): %s\n",
+      load.ok() ? "unexpectedly succeeded"
+                : load.status().ToString().c_str());
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 20: cluster speed-up for all queries over 1..9 nodes on a
+// fixed dataset (paper: 803 GB, 4 partitions/node; scaled: 36 MB x
+// JPAR_BENCH_SCALE). The reported time is the simulated-parallel
+// makespan (partition tasks measured individually, LPT-scheduled onto
+// the modeled cores, plus exchange and modeled network time — see
+// DESIGN.md). Expected shape: time ~ 1/nodes for every query; Q2 the
+// slowest (self-join reads the data twice).
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const Collection& data = SensorData(36ull * 1024 * 1024);
+
+  std::vector<std::string> header = {"query"};
+  for (int n = 1; n <= 9; ++n) {
+    header.push_back(std::to_string(n) + (n == 1 ? " node" : " nodes"));
+  }
+  PrintTableHeader("Figure 20: cluster speed-up (803GB-scaled, makespan)",
+                   header);
+  for (const NamedQuery& q : kAllQueries) {
+    std::vector<std::string> row = {q.name};
+    for (int nodes = 1; nodes <= 9; ++nodes) {
+      Engine engine =
+          MakeSensorEngine(data, RuleOptions::All(), nodes * 4, 4);
+      Measurement m = RunQuery(engine, q.text);
+      row.push_back(FormatMs(m.makespan_ms));
+    }
+    PrintTableRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 21: cluster scale-up — 88 GB per node in the paper (scaled:
+// 4 MB x JPAR_BENCH_SCALE per node), nodes 1..9, so the dataset grows
+// with the cluster. Expected shape: the makespan stays roughly flat
+// for every query (perfect scale-up).
+
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const uint64_t per_node = 4ull * 1024 * 1024;
+
+  std::vector<std::string> header = {"query"};
+  for (int n = 1; n <= 9; ++n) {
+    header.push_back(std::to_string(n) + (n == 1 ? " node" : " nodes"));
+  }
+  PrintTableHeader("Figure 21: cluster scale-up (88GB-scaled per node)",
+                   header);
+  for (const NamedQuery& q : kAllQueries) {
+    std::vector<std::string> row = {q.name};
+    for (int nodes = 1; nodes <= 9; ++nodes) {
+      const Collection& data =
+          SensorData(per_node * static_cast<uint64_t>(nodes));
+      Engine engine =
+          MakeSensorEngine(data, RuleOptions::All(), nodes * 4, 4);
+      Measurement m = RunQuery(engine, q.text);
+      row.push_back(FormatMs(m.makespan_ms));
+    }
+    PrintTableRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

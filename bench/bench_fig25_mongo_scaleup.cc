@@ -1,0 +1,66 @@
+// Figure 25: VXQuery vs MongoDB cluster scale-up on Q0b and Q2
+// (88 GB-scaled per node). Both systems should stay roughly flat;
+// MongoDB below VXQuery on the selection, above it on the join.
+
+#include "bench/bench_common.h"
+#include "bench/sharded_docstore.h"
+
+namespace jparbench {
+namespace {
+
+std::vector<std::string> UnwrappedDocs(uint64_t bytes, uint64_t seed) {
+  jpar::SensorDataSpec spec;
+  spec.measurements_per_array = 30;
+  spec.records_per_file = static_cast<int>(512 * 1024 / (40 + 30 * 105)) + 1;
+  spec.num_stations = 64;
+  spec.seed = seed;
+  spec = jpar::SpecForBytes(
+      spec, static_cast<uint64_t>(static_cast<double>(bytes) * ScaleFactor()));
+  std::vector<std::string> docs;
+  for (int f = 0; f < spec.num_files; ++f) {
+    for (std::string& d : jpar::GenerateUnwrappedDocuments(spec, f)) {
+      docs.push_back(std::move(d));
+    }
+  }
+  return docs;
+}
+
+void Run() {
+  const uint64_t per_node = 4ull * 1024 * 1024;
+  for (const NamedQuery& q :
+       {NamedQuery{"Q0b", kQ0b}, NamedQuery{"Q2", kQ2}}) {
+    PrintTableHeader(
+        std::string("Figure 25: scale-up, VXQuery vs MongoDB — ") + q.name,
+        {"nodes", "VXQuery", "MongoDB"});
+    for (int nodes = 1; nodes <= 9; ++nodes) {
+      uint64_t bytes = per_node * static_cast<uint64_t>(nodes);
+      const Collection& wrapped = SensorData(bytes);
+      Engine vx = MakeSensorEngine(wrapped, RuleOptions::All(), nodes * 4, 4);
+      Measurement vxm = RunQuery(vx, q.text);
+
+      ShardedDocStore mongo(nodes);
+      CheckOk(mongo.Load(UnwrappedDocs(bytes, 42)).status(), "mongo load");
+      double mongo_ms = 0;
+      if (q.text == kQ0b) {
+        auto ms = mongo.RunQ0bMs(nullptr);
+        CheckOk(ms.status(), "mongo q0b");
+        mongo_ms = *ms;
+      } else {
+        double r = 0;
+        auto ms = mongo.RunQ2Ms(&r);
+        CheckOk(ms.status(), "mongo q2");
+        mongo_ms = *ms;
+      }
+      PrintTableRow({std::to_string(nodes), FormatMs(vxm.makespan_ms),
+                     FormatMs(mongo_ms)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks (google-benchmark) for the substrate layers: DOM
+// parsing, projected scanning, binary item serde, and the baseline
+// compression codec. These quantify why the DATASCAN projection wins:
+// a projected scan touches every byte but materializes almost nothing.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/compression.h"
+#include "data/sensor_generator.h"
+#include "json/binary_serde.h"
+#include "json/parser.h"
+#include "json/projecting_reader.h"
+
+namespace {
+
+std::string MakeFile() {
+  jpar::SensorDataSpec spec;
+  spec.records_per_file = 64;
+  return jpar::GenerateSensorFile(spec, 0);
+}
+
+void BM_ParseJsonDom(benchmark::State& state) {
+  std::string text = MakeFile();
+  for (auto _ : state) {
+    auto item = jpar::ParseJson(text);
+    benchmark::DoNotOptimize(item);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseJsonDom);
+
+void BM_ProjectedScanDates(benchmark::State& state) {
+  std::string text = MakeFile();
+  std::vector<jpar::PathStep> steps = {
+      jpar::PathStep::Key("root"), jpar::PathStep::KeysOrMembers(),
+      jpar::PathStep::Key("results"), jpar::PathStep::KeysOrMembers(),
+      jpar::PathStep::Key("date")};
+  for (auto _ : state) {
+    size_t count = 0;
+    auto st = jpar::ProjectJson(text, steps, [&](jpar::Item) {
+      ++count;
+      return jpar::Status::OK();
+    });
+    benchmark::DoNotOptimize(count);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ProjectedScanDates);
+
+void BM_BinarySerde(benchmark::State& state) {
+  std::string text = MakeFile();
+  jpar::Item doc = *jpar::ParseJson(text);
+  for (auto _ : state) {
+    std::string binary = jpar::SerializeItem(doc);
+    auto back = jpar::DeserializeItem(binary);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_BinarySerde);
+
+void BM_LzRoundTrip(benchmark::State& state) {
+  std::string text = MakeFile();
+  for (auto _ : state) {
+    std::string compressed = jpar::LzCompress(text);
+    auto back = jpar::LzDecompress(compressed);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_LzRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table 1: loading time for MongoDB and AsterixDB(load) across
+// measurements-per-array (30/22/15/7/1). The paper's shape: MongoDB
+// loads faster than AsterixDB(load) thanks to compression (fewer bytes
+// written), and its load time grows as documents shrink (worse
+// compression); AsterixDB(load) is roughly flat. VXQuery and external
+// AsterixDB have no load phase at all.
+
+#include "baselines/asterix_like.h"
+#include "baselines/docstore.h"
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  const uint64_t base_bytes = 24ull * 1024 * 1024;
+  PrintTableHeader(
+      "Table 1: loading time (VXQuery and external AsterixDB load nothing)",
+      {"meas/array", "MongoDB", "stored", "Asterix(load)", "stored"});
+  for (int mpa : {30, 22, 15, 7, 1}) {
+    jpar::SensorDataSpec spec;
+    spec.measurements_per_array = mpa;
+    uint64_t per_record = 40 + static_cast<uint64_t>(mpa) * 105;
+    spec.records_per_file = static_cast<int>(512 * 1024 / per_record) + 1;
+    spec = jpar::SpecForBytes(
+        spec, static_cast<uint64_t>(static_cast<double>(base_bytes) *
+                                    ScaleFactor()));
+    std::vector<std::string> docs;
+    Collection files;
+    for (int f = 0; f < spec.num_files; ++f) {
+      for (std::string& d : jpar::GenerateUnwrappedDocuments(spec, f)) {
+        files.files.push_back(jpar::JsonFile::FromText(d));
+        docs.push_back(std::move(d));
+      }
+    }
+
+    jpar::DocStore mongo;
+    auto mongo_load = mongo.Load(docs);
+    CheckOk(mongo_load.status(), "mongo load");
+
+    jpar::AsterixLikeOptions aopts;
+    aopts.preload = true;
+    jpar::AsterixLike asterix(aopts);
+    auto asterix_load = asterix.Register("/sensors", files);
+    CheckOk(asterix_load.status(), "asterix load");
+
+    PrintTableRow({std::to_string(mpa), FormatMs(mongo_load->load_ms),
+                   FormatBytes(mongo_load->stored_bytes),
+                   FormatMs(asterix_load->load_ms),
+                   FormatBytes(asterix_load->stored_bytes)});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 2: Spark SQL loading time for 400/800/1000 MB (scaled
+// 4/8/10 MB x JPAR_BENCH_SCALE). Loading grows super-linearly in the
+// paper (6.3s/15s/40s); here it is the measured parse+materialize cost.
+
+#include "baselines/memtable.h"
+#include "bench/bench_common.h"
+
+namespace jparbench {
+namespace {
+
+void Run() {
+  PrintTableHeader("Table 2: Spark SQL loading time",
+                   {"size", "load", "rows", "memory"});
+  for (uint64_t mb : {4, 8, 10}) {
+    const Collection& data = SensorData(mb * 1024 * 1024);
+    jpar::MemTable spark;
+    auto load = spark.Load(data);
+    CheckOk(load.status(), "spark load");
+    char size[32];
+    std::snprintf(size, sizeof(size), "%llux100MB",
+                  static_cast<unsigned long long>(mb));
+    PrintTableRow({size, FormatMs(load->load_ms),
+                   std::to_string(load->documents),
+                   FormatBytes(spark.memory_bytes())});
+  }
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

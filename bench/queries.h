@@ -1,0 +1,58 @@
+#ifndef JPAR_BENCH_QUERIES_H_
+#define JPAR_BENCH_QUERIES_H_
+
+// The paper's evaluation queries, verbatim (Listings 7-11, §5.2).
+
+namespace jparbench {
+
+inline constexpr const char* kQ0 = R"(
+  for $r in collection("/sensors")("root")()("results")()
+  let $datetime := dateTime(data($r("date")))
+  where year-from-dateTime($datetime) ge 2003
+    and month-from-dateTime($datetime) eq 12
+    and day-from-dateTime($datetime) eq 25
+  return $r)";
+
+inline constexpr const char* kQ0b = R"(
+  for $r in collection("/sensors")("root")()("results")()("date")
+  let $datetime := dateTime(data($r))
+  where year-from-dateTime($datetime) ge 2003
+    and month-from-dateTime($datetime) eq 12
+    and day-from-dateTime($datetime) eq 25
+  return $r)";
+
+inline constexpr const char* kQ1 = R"(
+  for $r in collection("/sensors")("root")()("results")()
+  where $r("dataType") eq "TMIN"
+  group by $date := $r("date")
+  return count($r("station")))";
+
+inline constexpr const char* kQ1b = R"(
+  for $r in collection("/sensors")("root")()("results")()
+  where $r("dataType") eq "TMIN"
+  group by $date := $r("date")
+  return count(for $i in $r return $i("station")))";
+
+inline constexpr const char* kQ2 = R"(
+  avg(
+    for $r_min in collection("/sensors")("root")()("results")()
+    for $r_max in collection("/sensors")("root")()("results")()
+    where $r_min("station") eq $r_max("station")
+      and $r_min("date") eq $r_max("date")
+      and $r_min("dataType") eq "TMIN"
+      and $r_max("dataType") eq "TMAX"
+    return $r_max("value") - $r_min("value")
+  ) div 10)";
+
+struct NamedQuery {
+  const char* name;
+  const char* text;
+};
+
+inline constexpr NamedQuery kAllQueries[] = {
+    {"Q0", kQ0}, {"Q0b", kQ0b}, {"Q1", kQ1}, {"Q1b", kQ1b}, {"Q2", kQ2},
+};
+
+}  // namespace jparbench
+
+#endif  // JPAR_BENCH_QUERIES_H_

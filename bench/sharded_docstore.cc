@@ -1,0 +1,110 @@
+#include "bench/sharded_docstore.h"
+
+#include <chrono>
+#include <map>
+
+#include "bench/baseline_queries.h"
+
+namespace jparbench {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+jpar::Result<jpar::LoadStats> ShardedDocStore::Load(
+    const std::vector<std::string>& docs) {
+  std::vector<std::vector<std::string>> per_shard(shards_.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    per_shard[i % shards_.size()].push_back(docs[i]);
+  }
+  jpar::LoadStats total;
+  double max_ms = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    JPAR_ASSIGN_OR_RETURN(jpar::LoadStats stats,
+                          shards_[s].Load(per_shard[s]));
+    total.input_bytes += stats.input_bytes;
+    total.stored_bytes += stats.stored_bytes;
+    total.documents += stats.documents;
+    if (stats.load_ms > max_ms) max_ms = stats.load_ms;
+  }
+  total.load_ms = max_ms;  // shards load in parallel
+  return total;
+}
+
+jpar::Result<double> ShardedDocStore::RunQ0bMs(uint64_t* rows) const {
+  double max_ms = 0;
+  uint64_t total_rows = 0;
+  for (const jpar::DocStore& shard : shards_) {
+    auto start = Clock::now();
+    JPAR_ASSIGN_OR_RETURN(std::vector<std::string> dates,
+                          DocStoreQ0b(shard));
+    total_rows += dates.size();
+    double ms = ElapsedMs(start);
+    if (ms > max_ms) max_ms = ms;
+  }
+  if (rows != nullptr) *rows = total_rows;
+  return max_ms;
+}
+
+jpar::Result<double> ShardedDocStore::RunQ2Ms(double* result) const {
+  // Phase 1 (parallel): per-shard unwind + project.
+  double max_unwind_ms = 0;
+  std::vector<std::vector<jpar::Item>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const jpar::DocStore& shard : shards_) {
+    auto start = Clock::now();
+    JPAR_ASSIGN_OR_RETURN(
+        std::vector<jpar::Item> ms,
+        shard.UnwindProject("results",
+                            {"station", "date", "dataType", "value"}));
+    double elapsed = ElapsedMs(start);
+    if (elapsed > max_unwind_ms) max_unwind_ms = elapsed;
+    per_shard.push_back(std::move(ms));
+  }
+
+  // Phase 2 (central): TMIN/TMAX join over all projected measurements.
+  auto start = Clock::now();
+  std::map<std::pair<std::string, std::string>, std::vector<int64_t>> tmin;
+  for (const auto& shard_items : per_shard) {
+    for (const jpar::Item& m : shard_items) {
+      auto type = m.GetField("dataType");
+      if (!type.has_value() || type->string_value() != "TMIN") continue;
+      tmin[{m.GetField("station")->string_value(),
+            m.GetField("date")->string_value()}]
+          .push_back(m.GetField("value")->int64_value());
+    }
+  }
+  double sum = 0;
+  int64_t count = 0;
+  for (const auto& shard_items : per_shard) {
+    for (const jpar::Item& m : shard_items) {
+      auto type = m.GetField("dataType");
+      if (!type.has_value() || type->string_value() != "TMAX") continue;
+      auto it = tmin.find({m.GetField("station")->string_value(),
+                           m.GetField("date")->string_value()});
+      if (it == tmin.end()) continue;
+      int64_t mx = m.GetField("value")->int64_value();
+      for (int64_t mn : it->second) {
+        sum += static_cast<double>(mx - mn);
+        ++count;
+      }
+    }
+  }
+  if (result != nullptr) {
+    *result = count > 0 ? (sum / static_cast<double>(count)) / 10.0 : 0.0;
+  }
+  return max_unwind_ms + ElapsedMs(start);
+}
+
+uint64_t ShardedDocStore::stored_bytes() const {
+  uint64_t total = 0;
+  for (const jpar::DocStore& shard : shards_) total += shard.stored_bytes();
+  return total;
+}
+
+}  // namespace jparbench

@@ -1,0 +1,41 @@
+#ifndef JPAR_BENCH_SHARDED_DOCSTORE_H_
+#define JPAR_BENCH_SHARDED_DOCSTORE_H_
+
+// A sharded MongoDB model for the cluster comparisons (Figs. 24/25,
+// Table 4): N DocStore shards, documents distributed round-robin.
+// Query makespans are max-over-shards of the measured per-shard time
+// (same accounting as the engine's cluster simulator), plus a central
+// merge for the join.
+
+#include <vector>
+
+#include "baselines/docstore.h"
+#include "common/result.h"
+
+namespace jparbench {
+
+class ShardedDocStore {
+ public:
+  explicit ShardedDocStore(int shards)
+      : shards_(static_cast<size_t>(shards > 0 ? shards : 1)) {}
+
+  /// Loads documents round-robin across shards; load time is the
+  /// max over shards (they load in parallel in a real cluster).
+  jpar::Result<jpar::LoadStats> Load(const std::vector<std::string>& docs);
+
+  /// Q0b: per-shard selection; returns the simulated makespan.
+  jpar::Result<double> RunQ0bMs(uint64_t* rows) const;
+
+  /// Q2: per-shard $unwind+$project, then a central TMIN/TMAX join
+  /// (the paper's MongoDB workaround). Returns the simulated makespan.
+  jpar::Result<double> RunQ2Ms(double* result) const;
+
+  uint64_t stored_bytes() const;
+
+ private:
+  std::vector<jpar::DocStore> shards_;
+};
+
+}  // namespace jparbench
+
+#endif  // JPAR_BENCH_SHARDED_DOCSTORE_H_

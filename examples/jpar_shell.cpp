@@ -1,0 +1,114 @@
+// Interactive shell: type JSONiq queries against generated sensor data
+// (or a JSON file you provide) and get results plus timings. Commands:
+//
+//   :explain <query>   show plans and fired rules instead of rows
+//   :load <name> <file.json>   register a file as collection <name>
+//   :partitions <n>    set data parallelism
+//   :rules on|off      toggle the JSONiq rewrite rules
+//   :quit
+//
+//   $ ./jpar_shell
+//   jpar> for $r in collection("/sensors")("root")()("results")()
+//         where $r("dataType") eq "TMIN" return $r("value")
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "data/sensor_generator.h"
+
+namespace {
+
+void PrintResult(const jpar::QueryOutput& out) {
+  size_t shown = 0;
+  for (const jpar::Item& item : out.items) {
+    if (shown++ >= 20) {
+      std::printf("  ... (%zu rows)\n", out.items.size());
+      break;
+    }
+    std::printf("  %s\n", item.ToJsonString().c_str());
+  }
+  std::printf("-- %zu rows, %.2f ms, %.2f MB scanned\n", out.items.size(),
+              out.stats.real_ms,
+              static_cast<double>(out.stats.bytes_scanned) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  jpar::EngineOptions options;
+  options.exec.partitions = 4;
+  auto engine = std::make_unique<jpar::Engine>(options);
+
+  jpar::SensorDataSpec spec;
+  spec.num_files = 8;
+  spec.records_per_file = 16;
+  engine->catalog()->RegisterCollection(
+      "/sensors", jpar::GenerateSensorCollection(spec));
+  std::printf(
+      "jpar shell — a sample \"/sensors\" collection is registered.\n"
+      "Type a JSONiq query (one line), :explain <query>, :load <name>\n"
+      "<file>, :partitions <n>, :rules on|off, or :quit.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("jpar> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+
+    if (line.rfind(":partitions ", 0) == 0) {
+      options.exec.partitions = std::atoi(line.c_str() + 12);
+      if (options.exec.partitions < 1) options.exec.partitions = 1;
+      engine->set_options(options);
+      std::printf("partitions = %d\n", options.exec.partitions);
+      continue;
+    }
+    if (line.rfind(":rules ", 0) == 0) {
+      options.rules = line.substr(7) == "off" ? jpar::RuleOptions::None()
+                                              : jpar::RuleOptions::All();
+      engine->set_options(options);
+      std::printf("rules %s\n", line.substr(7).c_str());
+      continue;
+    }
+    if (line.rfind(":load ", 0) == 0) {
+      std::istringstream args(line.substr(6));
+      std::string name, path;
+      args >> name >> path;
+      if (name.empty() || path.empty()) {
+        std::printf("usage: :load <name> <file.json>\n");
+        continue;
+      }
+      jpar::Collection c;
+      c.files.push_back(jpar::JsonFile::FromPath(path));
+      engine->catalog()->RegisterCollection(name, std::move(c));
+      std::printf("registered collection %s\n", name.c_str());
+      continue;
+    }
+    if (line.rfind(":explain ", 0) == 0) {
+      auto compiled = engine->Compile(line.substr(9));
+      if (!compiled.ok()) {
+        std::printf("error: %s\n", compiled.status().ToString().c_str());
+        continue;
+      }
+      std::printf("-- original --\n%s-- optimized --\n%s-- rules --\n",
+                  compiled->original_plan.c_str(),
+                  compiled->optimized_plan.c_str());
+      for (const std::string& r : compiled->fired_rules) {
+        std::printf("  %s\n", r.c_str());
+      }
+      continue;
+    }
+
+    auto result = engine->Run(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*result);
+  }
+  return 0;
+}

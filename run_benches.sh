@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs every bench binary, appending to bench_output.txt. Pass a start
+# index to resume.
+set -u
+start=${1:-0}
+i=0
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  if [ "$i" -ge "$start" ]; then
+    echo "=== $(basename "$b") ==="
+    timeout 900 "$b"
+  fi
+  i=$((i + 1))
+done

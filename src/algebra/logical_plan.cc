@@ -1,0 +1,507 @@
+#include "algebra/logical_plan.h"
+
+#include <functional>
+#include <utility>
+
+namespace jpar {
+
+std::string VarName(VarId var) {
+  if (var == kNoVar) return "$?";
+  return "$" + std::to_string(var);
+}
+
+// ---------------------------------------------------------------------
+// LExpr
+// ---------------------------------------------------------------------
+
+LExprPtr LExpr::Constant(Item value) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kConstant;
+  e->constant = std::move(value);
+  return e;
+}
+
+LExprPtr LExpr::Var(VarId var) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kVarRef;
+  e->var = var;
+  return e;
+}
+
+LExprPtr LExpr::Fn(Builtin fn, std::vector<LExprPtr> args) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kFunction;
+  e->fn = fn;
+  e->args = std::move(args);
+  return e;
+}
+
+void LExpr::CollectUsedVars(std::set<VarId>* out) const {
+  if (kind == Kind::kVarRef) {
+    out->insert(var);
+    return;
+  }
+  for (const LExprPtr& a : args) {
+    if (a != nullptr) a->CollectUsedVars(out);
+  }
+}
+
+LExprPtr LExpr::Clone() const {
+  auto e = std::make_shared<LExpr>();
+  e->kind = kind;
+  e->constant = constant;
+  e->var = var;
+  e->fn = fn;
+  e->args.reserve(args.size());
+  for (const LExprPtr& a : args) {
+    e->args.push_back(a != nullptr ? a->Clone() : nullptr);
+  }
+  return e;
+}
+
+void LExpr::SubstituteVar(VarId from, VarId to) {
+  if (kind == Kind::kVarRef) {
+    if (var == from) var = to;
+    return;
+  }
+  for (LExprPtr& a : args) {
+    if (a != nullptr) a->SubstituteVar(from, to);
+  }
+}
+
+void LExpr::SubstituteVarWithExpr(VarId from, const LExprPtr& replacement) {
+  for (LExprPtr& a : args) {
+    if (a == nullptr) continue;
+    if (a->IsVarRef(from)) {
+      a = replacement->Clone();
+    } else {
+      a->SubstituteVarWithExpr(from, replacement);
+    }
+  }
+}
+
+std::string LExpr::ToString() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return constant.ToJsonString();
+    case Kind::kVarRef:
+      return VarName(var);
+    case Kind::kFunction: {
+      std::string out(BuiltinToString(fn));
+      out.push_back('(');
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i] != nullptr ? args[i]->ToString() : std::string("?");
+      }
+      out.push_back(')');
+      return out;
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// LOp
+// ---------------------------------------------------------------------
+
+std::string_view LOpKindToString(LOpKind kind) {
+  switch (kind) {
+    case LOpKind::kEmptyTupleSource:
+      return "EMPTY-TUPLE-SOURCE";
+    case LOpKind::kNestedTupleSource:
+      return "NESTED-TUPLE-SOURCE";
+    case LOpKind::kDataScan:
+      return "DATASCAN";
+    case LOpKind::kAssign:
+      return "ASSIGN";
+    case LOpKind::kSelect:
+      return "SELECT";
+    case LOpKind::kProject:
+      return "PROJECT";
+    case LOpKind::kUnnest:
+      return "UNNEST";
+    case LOpKind::kAggregate:
+      return "AGGREGATE";
+    case LOpKind::kGroupBy:
+      return "GROUP-BY";
+    case LOpKind::kOrderBy:
+      return "ORDER-BY";
+    case LOpKind::kSubplan:
+      return "SUBPLAN";
+    case LOpKind::kJoin:
+      return "JOIN";
+    case LOpKind::kDistributeResult:
+      return "DISTRIBUTE-RESULT";
+  }
+  return "?";
+}
+
+std::string LOp::ToString() const {
+  std::string out(LOpKindToString(kind));
+  switch (kind) {
+    case LOpKind::kDataScan:
+      out += " " + VarName(out_var) + " <- collection(\"" + collection +
+             "\")" + PathToString(steps);
+      if (use_index) {
+        out += " [index: " + PathToString(index_path) + " = " +
+               index_value.ToJsonString() + "]";
+      }
+      break;
+    case LOpKind::kAssign:
+    case LOpKind::kUnnest:
+      out += " " + VarName(out_var) + " <- " +
+             (expr != nullptr ? expr->ToString() : std::string("?"));
+      break;
+    case LOpKind::kSelect:
+      out += " " + (expr != nullptr ? expr->ToString() : std::string("?"));
+      break;
+    case LOpKind::kAggregate: {
+      bool first = true;
+      for (const AggItem& a : aggs) {
+        out += first ? " " : ", ";
+        first = false;
+        out += VarName(a.var) + " <- " + std::string(AggKindToString(a.agg)) +
+               "(" + (a.arg != nullptr ? a.arg->ToString() : "?") + ")";
+      }
+      break;
+    }
+    case LOpKind::kGroupBy: {
+      bool first = true;
+      for (const KeyItem& k : keys) {
+        out += first ? " " : ", ";
+        first = false;
+        out += VarName(k.var) + " := " +
+               (k.expr != nullptr ? k.expr->ToString() : std::string("?"));
+      }
+      break;
+    }
+    case LOpKind::kOrderBy: {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out += i == 0 ? " " : ", ";
+        out += keys[i].expr != nullptr ? keys[i].expr->ToString()
+                                       : std::string("?");
+        if (i < sort_descending.size() && sort_descending[i]) {
+          out += " descending";
+        }
+      }
+      break;
+    }
+    case LOpKind::kJoin: {
+      out += " [";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += left_keys[i]->ToString() + " eq " + right_keys[i]->ToString();
+      }
+      if (expr != nullptr) {
+        out += left_keys.empty() ? "" : "; ";
+        out += "residual: " + expr->ToString();
+      }
+      out += "]";
+      break;
+    }
+    case LOpKind::kDistributeResult:
+      out += " " + VarName(result_var);
+      break;
+    case LOpKind::kProject: {
+      bool first = true;
+      for (VarId v : project_vars) {
+        out += first ? " " : ", ";
+        first = false;
+        out += VarName(v);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+void AppendPlanLines(const LOpPtr& op, int indent, std::string* out) {
+  if (op == nullptr) return;
+  out->append(static_cast<size_t>(indent), ' ');
+  out->append(op->ToString());
+  out->push_back('\n');
+  if (op->nested != nullptr) {
+    out->append(static_cast<size_t>(indent + 2), ' ');
+    out->append("{nested}\n");
+    AppendPlanLines(op->nested, indent + 4, out);
+  }
+  for (const LOpPtr& in : op->inputs) {
+    AppendPlanLines(in, indent + (op->inputs.size() > 1 ? 2 : 0), out);
+  }
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString() const {
+  std::string out;
+  AppendPlanLines(root, 0, &out);
+  return out;
+}
+
+LOpPtr CloneOp(const LOpPtr& op) {
+  if (op == nullptr) return nullptr;
+  auto copy = std::make_shared<LOp>();
+  copy->kind = op->kind;
+  copy->collection = op->collection;
+  copy->steps = op->steps;
+  copy->use_index = op->use_index;
+  copy->index_path = op->index_path;
+  copy->index_value = op->index_value;
+  copy->out_var = op->out_var;
+  copy->expr = op->expr != nullptr ? op->expr->Clone() : nullptr;
+  for (const LOp::AggItem& a : op->aggs) {
+    copy->aggs.push_back(
+        {a.var, a.agg, a.arg != nullptr ? a.arg->Clone() : nullptr});
+  }
+  for (const LOp::KeyItem& k : op->keys) {
+    copy->keys.push_back(
+        {k.var, k.expr != nullptr ? k.expr->Clone() : nullptr});
+  }
+  copy->nested = CloneOp(op->nested);
+  for (const LExprPtr& e : op->left_keys) copy->left_keys.push_back(e->Clone());
+  for (const LExprPtr& e : op->right_keys) {
+    copy->right_keys.push_back(e->Clone());
+  }
+  copy->result_var = op->result_var;
+  copy->project_vars = op->project_vars;
+  copy->sort_descending = op->sort_descending;
+  for (const LOpPtr& in : op->inputs) copy->inputs.push_back(CloneOp(in));
+  return copy;
+}
+
+namespace {
+
+void ForEachExpr(const LOpPtr& op,
+                 const std::function<void(const LExprPtr&)>& f) {
+  if (op == nullptr) return;
+  if (op->expr != nullptr) f(op->expr);
+  for (const LOp::AggItem& a : op->aggs) {
+    if (a.arg != nullptr) f(a.arg);
+  }
+  for (const LOp::KeyItem& k : op->keys) {
+    if (k.expr != nullptr) f(k.expr);
+  }
+  for (const LExprPtr& e : op->left_keys) f(e);
+  for (const LExprPtr& e : op->right_keys) f(e);
+}
+
+void WalkOps(const LOpPtr& op, const std::function<void(const LOpPtr&)>& f) {
+  if (op == nullptr) return;
+  f(op);
+  WalkOps(op->nested, f);
+  for (const LOpPtr& in : op->inputs) WalkOps(in, f);
+}
+
+void CountUsesInExpr(const LExprPtr& e, VarId var, int* count) {
+  if (e == nullptr) return;
+  if (e->IsVarRef(var)) {
+    ++*count;
+    return;
+  }
+  for (const LExprPtr& a : e->args) CountUsesInExpr(a, var, count);
+}
+
+}  // namespace
+
+int CountVarUses(const LOpPtr& root, VarId var) {
+  int count = 0;
+  WalkOps(root, [&](const LOpPtr& op) {
+    ForEachExpr(op, [&](const LExprPtr& e) { CountUsesInExpr(e, var, &count); });
+    if (op->kind == LOpKind::kDistributeResult && op->result_var == var) {
+      ++count;
+    }
+    for (VarId kept : op->project_vars) {
+      if (kept == var) ++count;
+    }
+  });
+  return count;
+}
+
+void SubstituteVarInPlan(const LOpPtr& root, VarId from, VarId to) {
+  WalkOps(root, [&](const LOpPtr& op) {
+    ForEachExpr(op, [&](const LExprPtr& e) { e->SubstituteVar(from, to); });
+    if (op->kind == LOpKind::kDistributeResult && op->result_var == from) {
+      op->result_var = to;
+    }
+    for (VarId& kept : op->project_vars) {
+      if (kept == from) kept = to;
+    }
+  });
+}
+
+void CollectProducedVars(const LOpPtr& op, std::set<VarId>* out) {
+  WalkOps(op, [&](const LOpPtr& o) {
+    if (o->out_var != kNoVar) out->insert(o->out_var);
+    for (const LOp::AggItem& a : o->aggs) out->insert(a.var);
+    for (const LOp::KeyItem& k : o->keys) out->insert(k.var);
+  });
+}
+
+VarId MaxVarId(const LOpPtr& root) {
+  VarId max_var = kNoVar;
+  auto consider = [&max_var](VarId v) {
+    if (v > max_var) max_var = v;
+  };
+  WalkOps(root, [&](const LOpPtr& op) {
+    consider(op->out_var);
+    consider(op->result_var);
+    for (const LOp::AggItem& a : op->aggs) consider(a.var);
+    for (const LOp::KeyItem& k : op->keys) consider(k.var);
+    ForEachExpr(op, [&](const LExprPtr& e) {
+      std::set<VarId> used;
+      e->CollectUsedVars(&used);
+      for (VarId v : used) consider(v);
+    });
+  });
+  return max_var;
+}
+
+namespace {
+
+/// Variables an operator's own expressions read.
+void CollectOpUsedVars(const LOpPtr& op, std::set<VarId>* out) {
+  ForEachExpr(op, [&](const LExprPtr& e) { e->CollectUsedVars(out); });
+}
+
+LOpPtr MakeProject(std::set<VarId> keep, LOpPtr input) {
+  auto project = std::make_shared<LOp>();
+  project->kind = LOpKind::kProject;
+  project->project_vars.assign(keep.begin(), keep.end());
+  project->inputs.push_back(std::move(input));
+  return project;
+}
+
+/// Wraps `slot` in PROJECT(keep) unless it is already an equivalent
+/// projection or keep covers everything the subtree produces.
+void ProjectInput(LOpPtr* slot, const std::set<VarId>& keep) {
+  std::set<VarId> produced;
+  CollectProducedVars(*slot, &produced);
+  std::set<VarId> kept;
+  for (VarId v : keep) {
+    if (produced.count(v) > 0) kept.insert(v);
+  }
+  if (kept.size() == produced.size()) return;  // nothing to drop
+  *slot = MakeProject(std::move(kept), *slot);
+}
+
+/// Top-down liveness walk inserting projections before blocking
+/// boundaries. `needed` is the set of variables required above `slot`.
+void InsertProjectionsWalk(LOpPtr& slot, std::set<VarId> needed) {
+  if (slot == nullptr) return;
+  LOp& op = *slot;
+  switch (op.kind) {
+    case LOpKind::kDistributeResult: {
+      std::set<VarId> below = {op.result_var};
+      ProjectInput(&op.inputs[0], below);
+      InsertProjectionsWalk(op.inputs[0]->kind == LOpKind::kProject
+                                ? op.inputs[0]->inputs[0]
+                                : op.inputs[0],
+                            below);
+      return;
+    }
+    case LOpKind::kAssign:
+    case LOpKind::kUnnest: {
+      needed.erase(op.out_var);
+      CollectOpUsedVars(slot, &needed);
+      // Eager pruning: variables that die at this operator are dropped
+      // before its input tuples reach it (Hyracks frames materialize
+      // every live column, so dead columns cost real buffer space).
+      ProjectInput(&op.inputs[0], needed);
+      InsertProjectionsWalk(op.inputs[0]->kind == LOpKind::kProject
+                                ? op.inputs[0]->inputs[0]
+                                : op.inputs[0],
+                            std::move(needed));
+      return;
+    }
+    case LOpKind::kSelect:
+    case LOpKind::kProject:
+    case LOpKind::kOrderBy: {
+      CollectOpUsedVars(slot, &needed);
+      for (VarId v : op.project_vars) needed.insert(v);
+      InsertProjectionsWalk(op.inputs[0], std::move(needed));
+      return;
+    }
+    case LOpKind::kSubplan: {
+      if (op.nested != nullptr) {
+        for (const LOp::AggItem& a : op.nested->aggs) needed.erase(a.var);
+      }
+      // Nested chains read outer variables; variables the nested chain
+      // itself produces are erased (their ids are fresh, so this never
+      // removes an outer variable).
+      LOpPtr cursor = op.nested;
+      while (cursor != nullptr) {
+        CollectOpUsedVars(cursor, &needed);
+        if (cursor->out_var != kNoVar) needed.erase(cursor->out_var);
+        cursor = cursor->inputs.empty() ? nullptr : cursor->inputs[0];
+      }
+      InsertProjectionsWalk(op.inputs[0], std::move(needed));
+      return;
+    }
+    case LOpKind::kAggregate:
+    case LOpKind::kGroupBy: {
+      std::set<VarId> below;
+      for (const LOp::KeyItem& k : op.keys) {
+        if (k.expr != nullptr) k.expr->CollectUsedVars(&below);
+      }
+      const LOpPtr& agg_holder =
+          op.kind == LOpKind::kGroupBy ? op.nested : slot;
+      if (agg_holder != nullptr) {
+        for (const LOp::AggItem& a : agg_holder->aggs) {
+          if (a.arg != nullptr) a.arg->CollectUsedVars(&below);
+        }
+      }
+      if (op.inputs.empty()) return;
+      ProjectInput(&op.inputs[0], below);
+      InsertProjectionsWalk(op.inputs[0]->kind == LOpKind::kProject
+                                ? op.inputs[0]->inputs[0]
+                                : op.inputs[0],
+                            below);
+      return;
+    }
+    case LOpKind::kJoin: {
+      std::set<VarId> wanted = needed;
+      for (const LExprPtr& k : op.left_keys) k->CollectUsedVars(&wanted);
+      for (const LExprPtr& k : op.right_keys) k->CollectUsedVars(&wanted);
+      if (op.expr != nullptr) op.expr->CollectUsedVars(&wanted);
+      for (size_t side = 0; side < op.inputs.size(); ++side) {
+        ProjectInput(&op.inputs[side], wanted);
+        InsertProjectionsWalk(op.inputs[side]->kind == LOpKind::kProject
+                                  ? op.inputs[side]->inputs[0]
+                                  : op.inputs[side],
+                              wanted);
+      }
+      return;
+    }
+    case LOpKind::kDataScan:
+    case LOpKind::kEmptyTupleSource:
+    case LOpKind::kNestedTupleSource:
+      return;
+  }
+}
+
+}  // namespace
+
+Status InsertProjections(LogicalPlan* plan) {
+  if (plan->root == nullptr) {
+    return Status::InvalidArgument("projecting an empty plan");
+  }
+  InsertProjectionsWalk(plan->root, {});
+  return Status::OK();
+}
+
+Status VisitOpSlots(LOpPtr& root, const OpSlotVisitor& visitor) {
+  if (root == nullptr) return Status::OK();
+  for (LOpPtr& in : root->inputs) {
+    JPAR_RETURN_NOT_OK(VisitOpSlots(in, visitor));
+  }
+  if (root->nested != nullptr) {
+    JPAR_RETURN_NOT_OK(VisitOpSlots(root->nested, visitor));
+  }
+  return visitor(root);
+}
+
+}  // namespace jpar

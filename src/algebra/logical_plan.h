@@ -1,0 +1,191 @@
+#ifndef JPAR_ALGEBRA_LOGICAL_PLAN_H_
+#define JPAR_ALGEBRA_LOGICAL_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/item.h"
+#include "json/projecting_reader.h"
+#include "runtime/aggregates.h"
+#include "runtime/expression.h"
+
+namespace jpar {
+
+/// Logical query variables. Assigned densely by the translator.
+using VarId = int;
+inline constexpr VarId kNoVar = -1;
+
+std::string VarName(VarId var);
+
+// ---------------------------------------------------------------------
+// Logical expressions
+// ---------------------------------------------------------------------
+
+struct LExpr;
+using LExprPtr = std::shared_ptr<LExpr>;
+
+/// A logical scalar expression tree. Mutable shared nodes: rewrite rules
+/// edit them in place or rebuild subtrees.
+struct LExpr {
+  enum class Kind : uint8_t { kConstant, kVarRef, kFunction };
+
+  Kind kind = Kind::kConstant;
+  Item constant;        // kConstant
+  VarId var = kNoVar;   // kVarRef
+  Builtin fn = Builtin::kValue;  // kFunction
+  std::vector<LExprPtr> args;
+
+  static LExprPtr Constant(Item value);
+  static LExprPtr Var(VarId var);
+  static LExprPtr Fn(Builtin fn, std::vector<LExprPtr> args);
+
+  bool IsFunction(Builtin f) const {
+    return kind == Kind::kFunction && fn == f;
+  }
+  bool IsVarRef() const { return kind == Kind::kVarRef; }
+  bool IsVarRef(VarId v) const { return IsVarRef() && var == v; }
+
+  void CollectUsedVars(std::set<VarId>* out) const;
+  LExprPtr Clone() const;
+  /// Replaces every reference to `from` with `to` (in place).
+  void SubstituteVar(VarId from, VarId to);
+  /// Replaces every reference to `from` with a clone of `replacement`.
+  void SubstituteVarWithExpr(VarId from, const LExprPtr& replacement);
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Logical operators
+// ---------------------------------------------------------------------
+
+/// Logical operator kinds — the Hyracks/Algebricks operators of the
+/// paper's §3.2 plus DATASCAN and JOIN.
+enum class LOpKind : uint8_t {
+  kEmptyTupleSource,
+  kNestedTupleSource,  // leaf of nested plans (GROUP-BY / SUBPLAN)
+  kDataScan,
+  kAssign,
+  kSelect,
+  kProject,  // keep a subset of live variables (Algebricks core rule)
+  kUnnest,
+  kAggregate,
+  kGroupBy,
+  kOrderBy,
+  kSubplan,
+  kJoin,
+  kDistributeResult,
+};
+
+std::string_view LOpKindToString(LOpKind kind);
+
+struct LOp;
+using LOpPtr = std::shared_ptr<LOp>;
+
+/// A logical operator node. A single struct with kind-dependent fields:
+/// rewrite rules pattern-match on kinds and restructure the DAG, so an
+/// open struct is more convenient than a class hierarchy here.
+struct LOp {
+  LOpKind kind = LOpKind::kEmptyTupleSource;
+  std::vector<LOpPtr> inputs;  // 0, 1 (most), or 2 (join)
+
+  // kDataScan
+  std::string collection;
+  std::vector<PathStep> steps;
+  // kDataScan with index assistance (set by the index rule).
+  bool use_index = false;
+  std::vector<PathStep> index_path;
+  Item index_value;
+
+  // kAssign / kUnnest / kDataScan: the variable produced.
+  VarId out_var = kNoVar;
+  // kAssign / kUnnest / kSelect: the expression;
+  // kJoin: residual (non-equi) condition, may be null.
+  LExprPtr expr;
+
+  // kAggregate: produced aggregates.
+  struct AggItem {
+    VarId var = kNoVar;
+    AggKind agg = AggKind::kCount;
+    LExprPtr arg;
+  };
+  std::vector<AggItem> aggs;
+
+  // kGroupBy: grouping keys (re-bound under fresh variables).
+  // kOrderBy: sort keys (var unused, kNoVar).
+  struct KeyItem {
+    VarId var = kNoVar;
+    LExprPtr expr;
+  };
+  std::vector<KeyItem> keys;
+  // kOrderBy: per-key direction, parallel to `keys`.
+  std::vector<uint8_t> sort_descending;
+
+  // kGroupBy / kSubplan: nested plan root (a chain whose leaf is
+  // kNestedTupleSource and whose top is kAggregate).
+  LOpPtr nested;
+
+  // kJoin: equi-join keys extracted by the join rule. Empty until the
+  // rule fires (a cross product with `expr` as filter until then).
+  std::vector<LExprPtr> left_keys;
+  std::vector<LExprPtr> right_keys;
+
+  // kDistributeResult: result variable.
+  VarId result_var = kNoVar;
+
+  // kProject: variables kept (in order).
+  std::vector<VarId> project_vars;
+
+  LOpPtr& input() { return inputs[0]; }
+  const LOpPtr& input() const { return inputs[0]; }
+
+  std::string ToString() const;  // one line, paper-style
+};
+
+/// A logical plan (root is kDistributeResult).
+struct LogicalPlan {
+  LOpPtr root;
+
+  std::string ToString() const;  // multi-line, top-down like the paper
+};
+
+/// Deep-copies a plan (rules and tests snapshot plans before rewriting).
+LOpPtr CloneOp(const LOpPtr& op);
+
+/// Counts references to `var` in expressions anywhere in the plan
+/// (including nested plans), excluding the sites that *produce* it.
+int CountVarUses(const LOpPtr& root, VarId var);
+
+/// Replaces uses of `from` with `to` in all expressions of the plan.
+void SubstituteVarInPlan(const LOpPtr& root, VarId from, VarId to);
+
+/// The set of variables produced by a subtree (scan/assign/unnest vars,
+/// group keys, aggregate vars).
+void CollectProducedVars(const LOpPtr& op, std::set<VarId>* out);
+
+/// Largest VarId appearing anywhere in the plan (produced or referenced);
+/// kNoVar for an empty plan. Rules use MaxVarId(root) + 1 for fresh
+/// variables.
+VarId MaxVarId(const LOpPtr& root);
+
+/// Inserts PROJECT operators that drop dead variables at the plan's
+/// blocking/exchange boundaries (GROUP-BY, JOIN, AGGREGATE inputs and
+/// the DISTRIBUTE-RESULT input). This is Algebricks-core behaviour
+/// (variable pruning), always applied regardless of which JSONiq rule
+/// categories are enabled — without it, naive plans would serialize
+/// whole-collection items into exchange frames.
+Status InsertProjections(LogicalPlan* plan);
+
+/// Visits every operator slot in the plan bottom-up (inputs before the
+/// node, nested plans before the node). The visitor may replace the
+/// LOpPtr in the slot.
+using OpSlotVisitor = std::function<Status(LOpPtr& slot)>;
+Status VisitOpSlots(LOpPtr& root, const OpSlotVisitor& visitor);
+
+}  // namespace jpar
+
+#endif  // JPAR_ALGEBRA_LOGICAL_PLAN_H_

@@ -1,0 +1,328 @@
+#include "algebra/physical_translator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace jpar {
+
+namespace {
+
+/// Variable -> column positions of the tuples flowing at some plan
+/// point.
+using Schema = std::vector<VarId>;
+
+int ColumnOf(const Schema& schema, VarId var) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<ScalarEvalPtr> CompileExpr(const LExprPtr& expr,
+                                  const Schema& schema) {
+  if (expr == nullptr) return Status::Internal("compiling a null expression");
+  switch (expr->kind) {
+    case LExpr::Kind::kConstant:
+      return MakeConstantEval(expr->constant);
+    case LExpr::Kind::kVarRef: {
+      int col = ColumnOf(schema, expr->var);
+      if (col < 0) {
+        return Status::Internal("unbound variable " + VarName(expr->var) +
+                                " during physical translation");
+      }
+      return MakeColumnEval(col);
+    }
+    case LExpr::Kind::kFunction: {
+      std::vector<ScalarEvalPtr> args;
+      args.reserve(expr->args.size());
+      for (const LExprPtr& a : expr->args) {
+        JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev, CompileExpr(a, schema));
+        args.push_back(std::move(ev));
+      }
+      return MakeFunctionEval(expr->fn, std::move(args));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+struct NodeAndSchema {
+  std::shared_ptr<PNode> node;
+  Schema schema;
+};
+
+class Translator {
+ public:
+  explicit Translator(const PhysicalOptions& options) : options_(options) {}
+
+  Result<PhysicalPlan> Translate(const LogicalPlan& plan) {
+    if (plan.root == nullptr || plan.root->kind != LOpKind::kDistributeResult) {
+      return Status::InvalidArgument(
+          "logical plan must be rooted at DISTRIBUTE-RESULT");
+    }
+    JPAR_ASSIGN_OR_RETURN(NodeAndSchema body,
+                          TranslateOp(plan.root->input()));
+    int col = ColumnOf(body.schema, plan.root->result_var);
+    if (col < 0) {
+      return Status::Internal("result variable " +
+                              VarName(plan.root->result_var) +
+                              " not in final schema");
+    }
+    PhysicalPlan out;
+    out.root = body.node;
+    out.result_column = col;
+    return out;
+  }
+
+ private:
+  /// Returns `ns` if its node is an extensible pipeline, otherwise wraps
+  /// it in a fresh pipeline stage.
+  NodeAndSchema AsPipeline(NodeAndSchema ns) {
+    if (ns.node->kind == PNode::Kind::kPipeline) return ns;
+    auto pipe = std::make_shared<PNode>();
+    pipe->kind = PNode::Kind::kPipeline;
+    pipe->input = ns.node;
+    ns.node = pipe;
+    return ns;
+  }
+
+  Result<NodeAndSchema> TranslateOp(const LOpPtr& op) {
+    if (op == nullptr) return Status::Internal("translating a null operator");
+    switch (op->kind) {
+      case LOpKind::kEmptyTupleSource: {
+        NodeAndSchema ns;
+        ns.node = std::make_shared<PNode>();
+        ns.node->kind = PNode::Kind::kPipeline;
+        ns.node->scan.kind = ScanDesc::Kind::kEmptyTupleSource;
+        return ns;
+      }
+      case LOpKind::kDataScan: {
+        NodeAndSchema ns;
+        ns.node = std::make_shared<PNode>();
+        ns.node->kind = PNode::Kind::kPipeline;
+        ns.node->scan.kind = ScanDesc::Kind::kDataScan;
+        ns.node->scan.collection = op->collection;
+        ns.node->scan.steps = op->steps;
+        ns.node->scan.use_index = op->use_index;
+        ns.node->scan.index_path = op->index_path;
+        ns.node->scan.index_value = op->index_value;
+        ns.schema.push_back(op->out_var);
+        return ns;
+      }
+      case LOpKind::kProject: {
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema in, TranslateOp(op->input()));
+        NodeAndSchema ns = AsPipeline(std::move(in));
+        std::vector<int> columns;
+        Schema new_schema;
+        for (VarId v : op->project_vars) {
+          int col = ColumnOf(ns.schema, v);
+          if (col < 0) {
+            return Status::Internal("PROJECT of unbound variable " +
+                                    VarName(v));
+          }
+          columns.push_back(col);
+          new_schema.push_back(v);
+        }
+        ns.node->ops.push_back(UnaryOpDesc::Project(std::move(columns)));
+        ns.schema = std::move(new_schema);
+        return ns;
+      }
+      case LOpKind::kAssign:
+      case LOpKind::kSelect:
+      case LOpKind::kUnnest: {
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema in, TranslateOp(op->input()));
+        NodeAndSchema ns = AsPipeline(std::move(in));
+        JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev,
+                              CompileExpr(op->expr, ns.schema));
+        if (op->kind == LOpKind::kAssign) {
+          ns.node->ops.push_back(UnaryOpDesc::Assign(std::move(ev)));
+          ns.schema.push_back(op->out_var);
+        } else if (op->kind == LOpKind::kSelect) {
+          ns.node->ops.push_back(UnaryOpDesc::Select(std::move(ev)));
+        } else {
+          ns.node->ops.push_back(UnaryOpDesc::Unnest(std::move(ev)));
+          ns.schema.push_back(op->out_var);
+        }
+        return ns;
+      }
+      case LOpKind::kSubplan: {
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema in, TranslateOp(op->input()));
+        NodeAndSchema ns = AsPipeline(std::move(in));
+        JPAR_ASSIGN_OR_RETURN(std::shared_ptr<const SubplanDesc> sub,
+                              CompileSubplan(op->nested, &ns.schema));
+        ns.node->ops.push_back(UnaryOpDesc::Subplan(std::move(sub)));
+        return ns;
+      }
+      case LOpKind::kAggregate: {
+        // A top-level AGGREGATE is a GROUP-BY with no keys.
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema in, TranslateOp(op->input()));
+        auto node = std::make_shared<PNode>();
+        node->kind = PNode::Kind::kGroupBy;
+        node->input = in.node;
+        node->two_step = options_.two_step_aggregation;
+        Schema out_schema;
+        for (const LOp::AggItem& a : op->aggs) {
+          AggSpec spec;
+          spec.kind = a.agg;
+          JPAR_ASSIGN_OR_RETURN(spec.arg, CompileExpr(a.arg, in.schema));
+          node->aggs.push_back(std::move(spec));
+          out_schema.push_back(a.var);
+        }
+        NodeAndSchema ns;
+        ns.node = node;
+        ns.schema = std::move(out_schema);
+        return ns;
+      }
+      case LOpKind::kGroupBy: {
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema in, TranslateOp(op->input()));
+        if (op->nested == nullptr ||
+            op->nested->kind != LOpKind::kAggregate ||
+            op->nested->input()->kind != LOpKind::kNestedTupleSource) {
+          return Status::Unsupported(
+              "GROUP-BY nested plans must be a single AGGREGATE over "
+              "NESTED-TUPLE-SOURCE at physical translation time");
+        }
+        auto node = std::make_shared<PNode>();
+        node->kind = PNode::Kind::kGroupBy;
+        node->input = in.node;
+        Schema out_schema;
+        for (const LOp::KeyItem& k : op->keys) {
+          JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev,
+                                CompileExpr(k.expr, in.schema));
+          node->keys.push_back(std::move(ev));
+          out_schema.push_back(k.var);
+        }
+        bool all_incremental = true;
+        for (const LOp::AggItem& a : op->nested->aggs) {
+          AggSpec spec;
+          spec.kind = a.agg;
+          if (a.agg == AggKind::kSequence) all_incremental = false;
+          JPAR_ASSIGN_OR_RETURN(spec.arg, CompileExpr(a.arg, in.schema));
+          node->aggs.push_back(std::move(spec));
+          out_schema.push_back(a.var);
+        }
+        node->two_step = options_.two_step_aggregation && all_incremental;
+        NodeAndSchema ns;
+        ns.node = node;
+        ns.schema = std::move(out_schema);
+        return ns;
+      }
+      case LOpKind::kOrderBy: {
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema in, TranslateOp(op->input()));
+        auto node = std::make_shared<PNode>();
+        node->kind = PNode::Kind::kSort;
+        node->input = in.node;
+        for (const LOp::KeyItem& k : op->keys) {
+          JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev,
+                                CompileExpr(k.expr, in.schema));
+          node->sort_keys.push_back(std::move(ev));
+        }
+        node->sort_descending = op->sort_descending;
+        NodeAndSchema ns;
+        ns.node = node;
+        ns.schema = in.schema;  // sorting preserves the schema
+        return ns;
+      }
+      case LOpKind::kJoin: {
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema left, TranslateOp(op->inputs[0]));
+        JPAR_ASSIGN_OR_RETURN(NodeAndSchema right, TranslateOp(op->inputs[1]));
+        auto node = std::make_shared<PNode>();
+        node->kind = PNode::Kind::kJoin;
+        node->left = left.node;
+        node->right = right.node;
+        for (const LExprPtr& k : op->left_keys) {
+          JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev, CompileExpr(k, left.schema));
+          node->left_keys.push_back(std::move(ev));
+        }
+        for (const LExprPtr& k : op->right_keys) {
+          JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev,
+                                CompileExpr(k, right.schema));
+          node->right_keys.push_back(std::move(ev));
+        }
+        Schema out_schema = left.schema;
+        out_schema.insert(out_schema.end(), right.schema.begin(),
+                          right.schema.end());
+        if (op->expr != nullptr) {
+          JPAR_ASSIGN_OR_RETURN(node->residual,
+                                CompileExpr(op->expr, out_schema));
+        }
+        NodeAndSchema ns;
+        ns.node = node;
+        ns.schema = std::move(out_schema);
+        return ns;
+      }
+      case LOpKind::kNestedTupleSource:
+        return Status::Internal(
+            "NESTED-TUPLE-SOURCE outside a nested plan");
+      case LOpKind::kDistributeResult:
+        return Status::Internal("nested DISTRIBUTE-RESULT");
+    }
+    return Status::Internal("unknown logical operator kind");
+  }
+
+  /// Compiles a SUBPLAN nested chain (AGGREGATE over streaming ops over
+  /// NESTED-TUPLE-SOURCE). `outer_schema` is extended with the
+  /// aggregate output variables.
+  Result<std::shared_ptr<const SubplanDesc>> CompileSubplan(
+      const LOpPtr& nested, Schema* outer_schema) {
+    if (nested == nullptr || nested->kind != LOpKind::kAggregate) {
+      return Status::Unsupported(
+          "SUBPLAN nested plans must end in AGGREGATE");
+    }
+    // Collect the chain bottom-up.
+    std::vector<LOpPtr> chain;
+    LOpPtr cursor = nested->input();
+    while (cursor != nullptr && cursor->kind != LOpKind::kNestedTupleSource) {
+      chain.push_back(cursor);
+      if (cursor->inputs.empty()) {
+        return Status::Unsupported("SUBPLAN chain without a tuple source");
+      }
+      cursor = cursor->input();
+    }
+    if (cursor == nullptr) {
+      return Status::Unsupported("SUBPLAN chain without a tuple source");
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    auto desc = std::make_shared<SubplanDesc>();
+    Schema schema = *outer_schema;  // nested plans see the outer tuple
+    for (const LOpPtr& op : chain) {
+      JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev, CompileExpr(op->expr, schema));
+      switch (op->kind) {
+        case LOpKind::kAssign:
+          desc->ops.push_back(UnaryOpDesc::Assign(std::move(ev)));
+          schema.push_back(op->out_var);
+          break;
+        case LOpKind::kSelect:
+          desc->ops.push_back(UnaryOpDesc::Select(std::move(ev)));
+          break;
+        case LOpKind::kUnnest:
+          desc->ops.push_back(UnaryOpDesc::Unnest(std::move(ev)));
+          schema.push_back(op->out_var);
+          break;
+        default:
+          return Status::Unsupported(
+              "SUBPLAN chains support ASSIGN/SELECT/UNNEST only");
+      }
+    }
+    for (const LOp::AggItem& a : nested->aggs) {
+      AggSpec spec;
+      spec.kind = a.agg;
+      JPAR_ASSIGN_OR_RETURN(spec.arg, CompileExpr(a.arg, schema));
+      desc->aggs.push_back(std::move(spec));
+      outer_schema->push_back(a.var);
+    }
+    return std::shared_ptr<const SubplanDesc>(desc);
+  }
+
+  PhysicalOptions options_;
+};
+
+}  // namespace
+
+Result<PhysicalPlan> TranslateToPhysical(const LogicalPlan& plan,
+                                         const PhysicalOptions& options) {
+  Translator translator(options);
+  return translator.Translate(plan);
+}
+
+}  // namespace jpar

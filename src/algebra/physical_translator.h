@@ -1,0 +1,28 @@
+#ifndef JPAR_ALGEBRA_PHYSICAL_TRANSLATOR_H_
+#define JPAR_ALGEBRA_PHYSICAL_TRANSLATOR_H_
+
+#include "algebra/logical_plan.h"
+#include "algebra/rewriter.h"
+#include "common/result.h"
+#include "runtime/executor.h"
+
+namespace jpar {
+
+/// Options controlling logical -> physical translation.
+struct PhysicalOptions {
+  /// Algebricks two-step aggregation: GROUP-BY and AGGREGATE operators
+  /// with incremental aggregate functions pre-aggregate per partition
+  /// and merge globally (paper §4.3, "partitioned computation").
+  bool two_step_aggregation = true;
+};
+
+/// Lowers an optimized logical plan to the executor's physical plan:
+/// assigns tuple columns to variables, compiles expressions to
+/// evaluators, fuses streaming operators into pipelines, and maps
+/// GROUP-BY/AGGREGATE/JOIN to their partitioned physical forms.
+Result<PhysicalPlan> TranslateToPhysical(const LogicalPlan& plan,
+                                         const PhysicalOptions& options);
+
+}  // namespace jpar
+
+#endif  // JPAR_ALGEBRA_PHYSICAL_TRANSLATOR_H_

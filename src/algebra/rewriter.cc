@@ -1,0 +1,90 @@
+#include "algebra/rewriter.h"
+
+namespace jpar {
+
+RewriteEngine::RewriteEngine(RuleOptions options) : options_(options) {
+  if (options_.path_rules) {
+    path_rules_.push_back(MakeRemovePromoteDataRule());
+    path_rules_.push_back(MakeMergeKeysOrMembersIntoUnnestRule());
+  }
+  if (options_.pipelining_rules) {
+    pipelining_rules_.push_back(MakeIntroduceDataScanRule());
+    if (options_.pipelining_pushdown) {
+      pipelining_rules_.push_back(MakePushValueIntoDataScanRule());
+      pipelining_rules_.push_back(MakePushKeysOrMembersIntoDataScanRule());
+      pipelining_rules_.push_back(MakeElideTrivialUnnestIterateRule());
+    }
+  }
+  if (options_.groupby_rules) {
+    groupby_rules_.push_back(MakeRemoveRedundantTreatRule());
+    groupby_rules_.push_back(MakeConvertScalarToAggregateRule());
+    groupby_rules_.push_back(MakePushAggregateIntoGroupByRule());
+  }
+  if (options_.join_rules) {
+    join_rules_.push_back(MakeExtractJoinConditionRule());
+  }
+  if (options_.index_rules) {
+    index_rules_.push_back(MakeUsePathIndexRule());
+  }
+}
+
+Result<bool> RewriteEngine::RunRuleSet(
+    LogicalPlan* plan, const Catalog* catalog,
+    const std::vector<std::unique_ptr<RewriteRule>>& rules,
+    std::vector<std::string>* fired) {
+  bool any = false;
+  // Iterate the rule set to fixpoint (bounded to guard against cyclic
+  // rule interactions — a correct rule set terminates well below this).
+  for (int round = 0; round < 64; ++round) {
+    bool changed = false;
+    RewriteContext ctx;
+    ctx.root = plan->root;
+    ctx.catalog = catalog;
+    for (const std::unique_ptr<RewriteRule>& rule : rules) {
+      JPAR_RETURN_NOT_OK(VisitOpSlots(
+          plan->root, [&](LOpPtr& slot) -> Status {
+            JPAR_ASSIGN_OR_RETURN(bool hit, rule->Apply(slot, &ctx));
+            if (hit) {
+              changed = true;
+              fired->push_back(std::string(rule->name()));
+            }
+            return Status::OK();
+          }));
+      ctx.root = plan->root;
+    }
+    if (!changed) break;
+    any = true;
+    if (round == 63) {
+      return Status::Internal("rewrite rules did not reach a fixpoint");
+    }
+  }
+  return any;
+}
+
+Result<std::vector<std::string>> RewriteEngine::Rewrite(
+    LogicalPlan* plan, const Catalog* catalog) {
+  std::vector<std::string> fired;
+  if (plan->root == nullptr) {
+    return Status::InvalidArgument("rewriting an empty plan");
+  }
+  // Category order per the paper: path rules first (they normalize the
+  // keys-or-members two-step form), pipelining rules build on them,
+  // group-by rules last. Join extraction runs before everything so the
+  // pipelining rules see the per-branch scans; index selection runs
+  // last (it needs the fully pushed-down DATASCAN shape).
+  JPAR_ASSIGN_OR_RETURN(bool j, RunRuleSet(plan, catalog, join_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(bool p, RunRuleSet(plan, catalog, path_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(bool d,
+                        RunRuleSet(plan, catalog, pipelining_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(bool g,
+                        RunRuleSet(plan, catalog, groupby_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(bool x, RunRuleSet(plan, catalog, index_rules_, &fired));
+  (void)j;
+  (void)p;
+  (void)d;
+  (void)g;
+  (void)x;
+  return fired;
+}
+
+}  // namespace jpar

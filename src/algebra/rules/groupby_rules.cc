@@ -1,0 +1,248 @@
+#include "algebra/rewriter.h"
+
+// Group-by rules (paper §4.3):
+//  * RemoveRedundantTreatRule — drops ASSIGN treat($seq) when the treat
+//    type is item() (Fig. 9 -> Fig. 10).
+//  * ConvertScalarToAggregateRule — turns ASSIGN $c <- count(E($seq))
+//    over a group-created sequence into a SUBPLAN with an UNNEST iterate
+//    and an incremental AGGREGATE (Fig. 10 -> Fig. 11). This both
+//    resolves the value-on-sequence conflict and makes count
+//    incremental.
+//  * PushAggregateIntoGroupByRule — pushes the SUBPLAN's AGGREGATE down
+//    into the GROUP-BY operator, eliminating the materialized per-group
+//    sequence entirely (Fig. 11 -> Fig. 12).
+
+namespace jpar {
+
+namespace {
+
+AggKind BuiltinToAggKind(Builtin fn) {
+  switch (fn) {
+    case Builtin::kCount:
+      return AggKind::kCount;
+    case Builtin::kSum:
+      return AggKind::kSum;
+    case Builtin::kAvg:
+      return AggKind::kAvg;
+    case Builtin::kMin:
+      return AggKind::kMin;
+    case Builtin::kMax:
+      return AggKind::kMax;
+    default:
+      return AggKind::kSequence;  // sentinel: not an aggregate builtin
+  }
+}
+
+bool IsAggregateBuiltin(Builtin fn) {
+  return BuiltinToAggKind(fn) != AggKind::kSequence;
+}
+
+/// Finds a GROUP-BY below `op` whose nested plan materializes `var` via
+/// AGGREGATE sequence($x); returns it (or null).
+LOpPtr FindGroupByProducingSequence(const LOpPtr& op, VarId var) {
+  if (op == nullptr) return nullptr;
+  if (op->kind == LOpKind::kGroupBy && op->nested != nullptr &&
+      op->nested->kind == LOpKind::kAggregate) {
+    for (const LOp::AggItem& a : op->nested->aggs) {
+      if (a.var == var && a.agg == AggKind::kSequence) {
+        return op;
+      }
+    }
+  }
+  for (const LOpPtr& in : op->inputs) {
+    LOpPtr found = FindGroupByProducingSequence(in, var);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+/// ASSIGN $t <- treat($x) ==> (removed; uses of $t renamed to $x)
+class RemoveRedundantTreatRule : public RewriteRule {
+ public:
+  std::string_view name() const override { return "remove-redundant-treat"; }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kAssign || slot->inputs.empty()) return false;
+    const LExprPtr& e = slot->expr;
+    if (e == nullptr || !e->IsFunction(Builtin::kTreat) ||
+        !e->args[0]->IsVarRef()) {
+      return false;
+    }
+    VarId source = e->args[0]->var;
+    VarId target = slot->out_var;
+    LOpPtr input = slot->input();
+    slot = input;
+    SubstituteVarInPlan(ctx->root, target, source);
+    return true;
+  }
+};
+
+/// ASSIGN $c <- count(E($seq))   [$seq materialized by a GROUP-BY below]
+/// ==>
+/// SUBPLAN {
+///   AGGREGATE $c <- count(E[$seq -> $i])
+///     UNNEST $i <- iterate($seq)
+///       NESTED-TUPLE-SOURCE
+/// }
+class ConvertScalarToAggregateRule : public RewriteRule {
+ public:
+  std::string_view name() const override {
+    return "convert-scalar-to-aggregate";
+  }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kAssign || slot->inputs.empty()) return false;
+    const LExprPtr& e = slot->expr;
+    if (e == nullptr || e->kind != LExpr::Kind::kFunction ||
+        !IsAggregateBuiltin(e->fn)) {
+      return false;
+    }
+    // The argument must reference a sequence variable created by a
+    // GROUP-BY below this operator.
+    std::set<VarId> used;
+    e->args[0]->CollectUsedVars(&used);
+    VarId seq_var = kNoVar;
+    for (VarId v : used) {
+      if (FindGroupByProducingSequence(slot->input(), v) != nullptr) {
+        seq_var = v;
+        break;
+      }
+    }
+    if (seq_var == kNoVar) return false;
+
+    VarId fresh = MaxVarId(ctx->root) + 1;
+
+    auto nts = std::make_shared<LOp>();
+    nts->kind = LOpKind::kNestedTupleSource;
+
+    auto unnest = std::make_shared<LOp>();
+    unnest->kind = LOpKind::kUnnest;
+    unnest->out_var = fresh;
+    unnest->expr = LExpr::Fn(Builtin::kIterate, {LExpr::Var(seq_var)});
+    unnest->inputs.push_back(nts);
+
+    LExprPtr agg_arg = e->args[0]->Clone();
+    if (agg_arg->IsVarRef(seq_var)) {
+      agg_arg = LExpr::Var(fresh);
+    } else {
+      agg_arg->SubstituteVar(seq_var, fresh);
+    }
+
+    auto aggregate = std::make_shared<LOp>();
+    aggregate->kind = LOpKind::kAggregate;
+    aggregate->aggs.push_back({slot->out_var, BuiltinToAggKind(e->fn),
+                               std::move(agg_arg)});
+    aggregate->inputs.push_back(unnest);
+
+    auto subplan = std::make_shared<LOp>();
+    subplan->kind = LOpKind::kSubplan;
+    subplan->nested = aggregate;
+    subplan->inputs.push_back(slot->input());
+    slot = subplan;
+    return true;
+  }
+};
+
+/// SUBPLAN { AGGREGATE $c <- agg(G); [ASSIGN...;] UNNEST $i <-
+/// iterate($seq); NTS }
+///   GROUP-BY ... { AGGREGATE $seq <- sequence($x); NTS }
+///     [$seq used only by the SUBPLAN]
+/// ==>
+/// GROUP-BY ... { AGGREGATE $c <- agg(G[$i -> $x]); NTS }
+class PushAggregateIntoGroupByRule : public RewriteRule {
+ public:
+  std::string_view name() const override {
+    return "push-aggregate-into-groupby";
+  }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kSubplan || slot->inputs.empty()) return false;
+    LOpPtr groupby = slot->input();
+    if (groupby->kind != LOpKind::kGroupBy || groupby->nested == nullptr ||
+        groupby->nested->kind != LOpKind::kAggregate) {
+      return false;
+    }
+
+    // Decompose the subplan's nested chain:
+    //   AGGREGATE <- ASSIGN* <- UNNEST iterate($seq) <- NTS
+    LOpPtr aggregate = slot->nested;
+    if (aggregate == nullptr || aggregate->kind != LOpKind::kAggregate ||
+        aggregate->aggs.size() != 1) {
+      return false;
+    }
+    std::vector<LOpPtr> assigns;
+    LOpPtr cursor = aggregate->input();
+    while (cursor != nullptr && cursor->kind == LOpKind::kAssign) {
+      assigns.push_back(cursor);
+      cursor = cursor->input();
+    }
+    if (cursor == nullptr || cursor->kind != LOpKind::kUnnest) return false;
+    LOpPtr unnest = cursor;
+    const LExprPtr& ue = unnest->expr;
+    if (ue == nullptr || !ue->IsFunction(Builtin::kIterate) ||
+        !ue->args[0]->IsVarRef()) {
+      return false;
+    }
+    VarId seq_var = ue->args[0]->var;
+    if (unnest->input()->kind != LOpKind::kNestedTupleSource) return false;
+
+    // The group-by's nested plan must materialize exactly that
+    // sequence, and nothing else may read it.
+    LOpPtr group_agg = groupby->nested;
+    int seq_index = -1;
+    for (size_t i = 0; i < group_agg->aggs.size(); ++i) {
+      if (group_agg->aggs[i].var == seq_var &&
+          group_agg->aggs[i].agg == AggKind::kSequence) {
+        seq_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (seq_index < 0) return false;
+    if (CountVarUses(ctx->root, seq_var) != 1) return false;
+
+    // Fold the subplan's ASSIGN definitions into the aggregate argument
+    // (innermost definitions substituted last so chains resolve).
+    LExprPtr arg = aggregate->aggs[0].arg->Clone();
+    for (const LOpPtr& assign : assigns) {
+      if (arg->IsVarRef(assign->out_var)) {
+        arg = assign->expr->Clone();
+      } else {
+        arg->SubstituteVarWithExpr(assign->out_var, assign->expr);
+      }
+    }
+    // Rebind the per-member variable to the group-by's grouped record.
+    VarId member_source = kNoVar;
+    {
+      // AGGREGATE $seq <- sequence($x): $x is the record variable.
+      const LExprPtr& seq_arg = group_agg->aggs[static_cast<size_t>(seq_index)].arg;
+      if (seq_arg == nullptr || !seq_arg->IsVarRef()) return false;
+      member_source = seq_arg->var;
+    }
+    if (arg->IsVarRef(unnest->out_var)) {
+      arg = LExpr::Var(member_source);
+    } else {
+      arg->SubstituteVar(unnest->out_var, member_source);
+    }
+
+    group_agg->aggs[static_cast<size_t>(seq_index)] = {
+        aggregate->aggs[0].var, aggregate->aggs[0].agg, std::move(arg)};
+    slot = groupby;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RewriteRule> MakeRemoveRedundantTreatRule() {
+  return std::make_unique<RemoveRedundantTreatRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeConvertScalarToAggregateRule() {
+  return std::make_unique<ConvertScalarToAggregateRule>();
+}
+
+std::unique_ptr<RewriteRule> MakePushAggregateIntoGroupByRule() {
+  return std::make_unique<PushAggregateIntoGroupByRule>();
+}
+
+}  // namespace jpar

@@ -1,0 +1,99 @@
+#include "algebra/rewriter.h"
+
+// Index selection — the reproduction's implementation of the paper's
+// future-work item (§6: "supporting indexing ... the searched data
+// volume will be significantly reduced"):
+//
+//   SELECT eq(value-chain($x), constant)        [or eq(const, chain)]
+//     DATASCAN $x <- collection("c")<steps>
+//
+// when the catalog has a path index on <steps> + <chain>, annotate the
+// DATASCAN so execution scans only the files whose indexed values
+// contain the constant. The SELECT stays in place: file-level indexing
+// over-approximates (a file contains matching and non-matching items),
+// so the predicate still filters — the index only prunes I/O.
+
+namespace jpar {
+
+namespace {
+
+bool MatchValueChain(const LExprPtr& expr, VarId* base,
+                     std::vector<PathStep>* steps) {
+  if (expr == nullptr) return false;
+  if (expr->IsVarRef()) {
+    *base = expr->var;
+    return true;
+  }
+  if (!expr->IsFunction(Builtin::kValue)) return false;
+  const LExprPtr& spec = expr->args[1];
+  if (spec->kind != LExpr::Kind::kConstant) return false;
+  if (!MatchValueChain(expr->args[0], base, steps)) return false;
+  if (spec->constant.is_string()) {
+    steps->push_back(PathStep::Key(spec->constant.string_value()));
+    return true;
+  }
+  if (spec->constant.is_int64()) {
+    steps->push_back(PathStep::Index(spec->constant.int64_value()));
+    return true;
+  }
+  return false;
+}
+
+class UsePathIndexRule : public RewriteRule {
+ public:
+  std::string_view name() const override { return "use-path-index"; }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (ctx->catalog == nullptr) return false;
+    if (slot->kind != LOpKind::kSelect || slot->inputs.empty()) return false;
+    LOpPtr scan = slot->input();
+    if (scan->kind != LOpKind::kDataScan || scan->use_index) return false;
+
+    // Accept a conjunction and pick the first indexable eq-conjunct.
+    std::vector<LExprPtr> conjuncts;
+    std::function<void(const LExprPtr&)> split = [&](const LExprPtr& e) {
+      if (e->IsFunction(Builtin::kAnd)) {
+        split(e->args[0]);
+        split(e->args[1]);
+      } else {
+        conjuncts.push_back(e);
+      }
+    };
+    split(slot->expr);
+
+    for (const LExprPtr& c : conjuncts) {
+      if (!c->IsFunction(Builtin::kEq)) continue;
+      for (int side = 0; side < 2; ++side) {
+        const LExprPtr& chain = c->args[static_cast<size_t>(side)];
+        const LExprPtr& constant = c->args[static_cast<size_t>(1 - side)];
+        if (constant->kind != LExpr::Kind::kConstant ||
+            !constant->constant.is_atomic()) {
+          continue;
+        }
+        std::vector<PathStep> chain_steps;
+        VarId base = kNoVar;
+        if (!MatchValueChain(chain, &base, &chain_steps)) continue;
+        if (base != scan->out_var) continue;
+        std::vector<PathStep> full_path = scan->steps;
+        full_path.insert(full_path.end(), chain_steps.begin(),
+                         chain_steps.end());
+        if (!ctx->catalog->HasPathIndex(scan->collection, full_path)) {
+          continue;
+        }
+        scan->use_index = true;
+        scan->index_path = std::move(full_path);
+        scan->index_value = constant->constant;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RewriteRule> MakeUsePathIndexRule() {
+  return std::make_unique<UsePathIndexRule>();
+}
+
+}  // namespace jpar

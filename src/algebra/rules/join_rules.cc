@@ -1,0 +1,119 @@
+#include "algebra/rewriter.h"
+
+// Join normalization:
+//  * ExtractJoinConditionRule — SELECT over a cross-product JOIN:
+//    one-sided conjuncts are pushed below the corresponding branch
+//    (selection pushdown), eq-conjuncts bridging both branches become
+//    hash-join keys, the remainder stays as a residual predicate. This
+//    is the Algebricks behaviour VXQuery relies on for Q2.
+
+namespace jpar {
+
+namespace {
+
+void SplitConjuncts(const LExprPtr& expr, std::vector<LExprPtr>* out) {
+  if (expr->IsFunction(Builtin::kAnd)) {
+    SplitConjuncts(expr->args[0], out);
+    SplitConjuncts(expr->args[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+LExprPtr CombineConjuncts(const std::vector<LExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  LExprPtr out = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = LExpr::Fn(Builtin::kAnd, {out, conjuncts[i]});
+  }
+  return out;
+}
+
+bool UsesOnly(const LExprPtr& expr, const std::set<VarId>& vars) {
+  std::set<VarId> used;
+  expr->CollectUsedVars(&used);
+  if (used.empty()) return false;  // constants are not side-specific
+  for (VarId v : used) {
+    if (vars.find(v) == vars.end()) return false;
+  }
+  return true;
+}
+
+class ExtractJoinConditionRule : public RewriteRule {
+ public:
+  std::string_view name() const override { return "extract-join-condition"; }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext*) override {
+    if (slot->kind != LOpKind::kSelect || slot->inputs.empty()) return false;
+    LOpPtr join = slot->input();
+    if (join->kind != LOpKind::kJoin || !join->left_keys.empty()) {
+      return false;
+    }
+
+    std::set<VarId> left_vars, right_vars;
+    CollectProducedVars(join->inputs[0], &left_vars);
+    CollectProducedVars(join->inputs[1], &right_vars);
+
+    std::vector<LExprPtr> conjuncts;
+    SplitConjuncts(slot->expr, &conjuncts);
+
+    std::vector<LExprPtr> left_only, right_only, residual;
+    std::vector<LExprPtr> lkeys, rkeys;
+    for (const LExprPtr& c : conjuncts) {
+      if (UsesOnly(c, left_vars)) {
+        left_only.push_back(c);
+        continue;
+      }
+      if (UsesOnly(c, right_vars)) {
+        right_only.push_back(c);
+        continue;
+      }
+      if (c->IsFunction(Builtin::kEq)) {
+        const LExprPtr& a = c->args[0];
+        const LExprPtr& b = c->args[1];
+        if (UsesOnly(a, left_vars) && UsesOnly(b, right_vars)) {
+          lkeys.push_back(a);
+          rkeys.push_back(b);
+          continue;
+        }
+        if (UsesOnly(a, right_vars) && UsesOnly(b, left_vars)) {
+          lkeys.push_back(b);
+          rkeys.push_back(a);
+          continue;
+        }
+      }
+      residual.push_back(c);
+    }
+    if (lkeys.empty() && left_only.empty() && right_only.empty()) {
+      return false;
+    }
+
+    auto push_below = [](LOpPtr& branch, const std::vector<LExprPtr>& conj) {
+      if (conj.empty()) return;
+      auto select = std::make_shared<LOp>();
+      select->kind = LOpKind::kSelect;
+      select->expr = CombineConjuncts(conj);
+      select->inputs.push_back(branch);
+      branch = select;
+    };
+    push_below(join->inputs[0], left_only);
+    push_below(join->inputs[1], right_only);
+
+    join->left_keys = std::move(lkeys);
+    join->right_keys = std::move(rkeys);
+    // Keep any prior cross-product residual and the unclassified
+    // conjuncts on the join.
+    if (join->expr != nullptr) residual.push_back(join->expr);
+    join->expr = CombineConjuncts(residual);
+    slot = join;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RewriteRule> MakeExtractJoinConditionRule() {
+  return std::make_unique<ExtractJoinConditionRule>();
+}
+
+}  // namespace jpar

@@ -1,0 +1,97 @@
+#include "algebra/rewriter.h"
+
+// Path-expression rules (paper §4.1):
+//  * RemovePromoteDataRule  — strips redundant promote()/data() coercions
+//    (paper Fig. 3 -> Fig. 4, "remove the promote and data expressions").
+//  * MergeKeysOrMembersIntoUnnestRule — fuses the two-step evaluation of
+//    keys-or-members (ASSIGN building the full sequence + UNNEST iterate)
+//    into a single unnesting UNNEST, so items stream one at a time.
+
+namespace jpar {
+
+namespace {
+
+/// Rewrites promote(E) -> E everywhere, and data(E) -> E where E is a
+/// constant atomic (the json-doc argument pattern of Fig. 3). Returns
+/// whether anything changed.
+bool SimplifyCoercions(LExprPtr* expr) {
+  if (*expr == nullptr || (*expr)->kind != LExpr::Kind::kFunction) {
+    return false;
+  }
+  bool changed = false;
+  for (LExprPtr& arg : (*expr)->args) {
+    changed |= SimplifyCoercions(&arg);
+  }
+  if ((*expr)->IsFunction(Builtin::kPromote)) {
+    *expr = (*expr)->args[0];
+    return true;
+  }
+  if ((*expr)->IsFunction(Builtin::kData)) {
+    const LExprPtr& arg = (*expr)->args[0];
+    if (arg->kind == LExpr::Kind::kConstant && arg->constant.is_atomic()) {
+      *expr = arg;
+      return true;
+    }
+  }
+  return changed;
+}
+
+class RemovePromoteDataRule : public RewriteRule {
+ public:
+  std::string_view name() const override { return "remove-promote-data"; }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext*) override {
+    bool changed = false;
+    if (slot->expr != nullptr) changed |= SimplifyCoercions(&slot->expr);
+    for (LOp::AggItem& a : slot->aggs) {
+      if (a.arg != nullptr) changed |= SimplifyCoercions(&a.arg);
+    }
+    for (LOp::KeyItem& k : slot->keys) {
+      if (k.expr != nullptr) changed |= SimplifyCoercions(&k.expr);
+    }
+    return changed;
+  }
+};
+
+/// UNNEST $y <- iterate($x)
+///   ASSIGN $x <- keys-or-members(E)        [$x used only here]
+/// ==>
+/// UNNEST $y <- keys-or-members(E)
+class MergeKeysOrMembersIntoUnnestRule : public RewriteRule {
+ public:
+  std::string_view name() const override {
+    return "merge-keys-or-members-into-unnest";
+  }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kUnnest || slot->inputs.empty()) return false;
+    const LExprPtr& e = slot->expr;
+    if (e == nullptr || !e->IsFunction(Builtin::kIterate) ||
+        !e->args[0]->IsVarRef()) {
+      return false;
+    }
+    VarId x = e->args[0]->var;
+    LOpPtr assign = slot->input();
+    if (assign->kind != LOpKind::kAssign || assign->out_var != x ||
+        assign->expr == nullptr ||
+        !assign->expr->IsFunction(Builtin::kKeysOrMembers)) {
+      return false;
+    }
+    if (CountVarUses(ctx->root, x) != 1) return false;
+    slot->expr = assign->expr;
+    slot->inputs[0] = assign->input();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RewriteRule> MakeRemovePromoteDataRule() {
+  return std::make_unique<RemovePromoteDataRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeMergeKeysOrMembersIntoUnnestRule() {
+  return std::make_unique<MergeKeysOrMembersIntoUnnestRule>();
+}
+
+}  // namespace jpar

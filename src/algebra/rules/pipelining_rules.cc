@@ -1,0 +1,199 @@
+#include "algebra/rewriter.h"
+
+// Pipelining rules (paper §4.2):
+//  * IntroduceDataScanRule — replaces ASSIGN collection(...) + UNNEST
+//    iterate with the DATASCAN operator (Fig. 5 -> Fig. 6). DATASCAN
+//    streams one file at a time and is what unlocks partitioned
+//    parallelism.
+//  * PushValueIntoDataScanRule — merges a value() chain into DATASCAN's
+//    second argument (Fig. 7).
+//  * PushKeysOrMembersIntoDataScanRule — merges a trailing
+//    keys-or-members into DATASCAN so the scan emits one member at a
+//    time, satisfying the frame-size restriction (Fig. 8).
+//  * ElideTrivialUnnestIterateRule — removes the per-item iterate the
+//    FLWOR translation leaves directly above a DATASCAN.
+
+namespace jpar {
+
+namespace {
+
+/// Matches a chain of value(E, constant) calls rooted at VarRef(base).
+/// On success appends the navigation steps (outermost last) to *steps.
+bool MatchValueChain(const LExprPtr& expr, VarId* base,
+                     std::vector<PathStep>* steps) {
+  if (expr == nullptr) return false;
+  if (expr->IsVarRef()) {
+    *base = expr->var;
+    return true;
+  }
+  if (!expr->IsFunction(Builtin::kValue)) return false;
+  const LExprPtr& spec = expr->args[1];
+  if (spec->kind != LExpr::Kind::kConstant) return false;
+  if (!MatchValueChain(expr->args[0], base, steps)) return false;
+  if (spec->constant.is_string()) {
+    steps->push_back(PathStep::Key(spec->constant.string_value()));
+    return true;
+  }
+  if (spec->constant.is_int64()) {
+    steps->push_back(PathStep::Index(spec->constant.int64_value()));
+    return true;
+  }
+  return false;
+}
+
+bool IsDataScanProducing(const LOpPtr& op, VarId var) {
+  return op != nullptr && op->kind == LOpKind::kDataScan &&
+         op->out_var == var;
+}
+
+/// UNNEST $x <- iterate($c)
+///   ASSIGN $c <- collection("name")      [$c used only here]
+///     EMPTY-TUPLE-SOURCE
+/// ==>
+/// DATASCAN $x <- collection("name")
+class IntroduceDataScanRule : public RewriteRule {
+ public:
+  std::string_view name() const override { return "introduce-datascan"; }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kUnnest || slot->inputs.empty()) return false;
+    const LExprPtr& e = slot->expr;
+    if (e == nullptr || !e->IsFunction(Builtin::kIterate) ||
+        !e->args[0]->IsVarRef()) {
+      return false;
+    }
+    VarId c = e->args[0]->var;
+    LOpPtr assign = slot->input();
+    if (assign->kind != LOpKind::kAssign || assign->out_var != c ||
+        assign->expr == nullptr ||
+        !assign->expr->IsFunction(Builtin::kCollection)) {
+      return false;
+    }
+    const LExprPtr& name = assign->expr->args[0];
+    if (name->kind != LExpr::Kind::kConstant || !name->constant.is_string()) {
+      return false;
+    }
+    if (assign->inputs.empty() ||
+        assign->input()->kind != LOpKind::kEmptyTupleSource) {
+      return false;
+    }
+    if (CountVarUses(ctx->root, c) != 1) return false;
+
+    auto scan = std::make_shared<LOp>();
+    scan->kind = LOpKind::kDataScan;
+    scan->collection = name->constant.string_value();
+    scan->out_var = slot->out_var;
+    scan->inputs.push_back(assign->input());
+    slot = scan;
+    return true;
+  }
+};
+
+/// ASSIGN $y <- value(...value($x, k1)..., kn)   [$x used only here]
+///   DATASCAN $x <- collection("name")<steps>
+/// ==>
+/// DATASCAN $y <- collection("name")<steps>("k1")...("kn")
+class PushValueIntoDataScanRule : public RewriteRule {
+ public:
+  std::string_view name() const override {
+    return "push-value-into-datascan";
+  }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kAssign || slot->inputs.empty()) return false;
+    std::vector<PathStep> steps;
+    VarId base = kNoVar;
+    if (!MatchValueChain(slot->expr, &base, &steps) || steps.empty()) {
+      return false;
+    }
+    LOpPtr scan = slot->input();
+    if (!IsDataScanProducing(scan, base)) return false;
+    if (CountVarUses(ctx->root, base) != 1) return false;
+
+    scan->steps.insert(scan->steps.end(), steps.begin(), steps.end());
+    scan->out_var = slot->out_var;
+    slot = scan;
+    return true;
+  }
+};
+
+/// UNNEST $y <- keys-or-members(value-chain($x))   [$x used only here]
+///   DATASCAN $x <- collection("name")<steps>
+/// ==>
+/// DATASCAN $y <- collection("name")<steps><chain>()
+class PushKeysOrMembersIntoDataScanRule : public RewriteRule {
+ public:
+  std::string_view name() const override {
+    return "push-keys-or-members-into-datascan";
+  }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kUnnest || slot->inputs.empty()) return false;
+    const LExprPtr& e = slot->expr;
+    if (e == nullptr || !e->IsFunction(Builtin::kKeysOrMembers)) return false;
+    std::vector<PathStep> steps;
+    VarId base = kNoVar;
+    if (!MatchValueChain(e->args[0], &base, &steps)) return false;
+    LOpPtr scan = slot->input();
+    if (!IsDataScanProducing(scan, base)) return false;
+    if (CountVarUses(ctx->root, base) != 1) return false;
+
+    scan->steps.insert(scan->steps.end(), steps.begin(), steps.end());
+    scan->steps.push_back(PathStep::KeysOrMembers());
+    scan->out_var = slot->out_var;
+    slot = scan;
+    return true;
+  }
+};
+
+/// UNNEST $y <- iterate(value-chain($x))   [$x used only here]
+///   DATASCAN $x <- collection("name")<steps>
+/// ==>
+/// DATASCAN $y <- collection("name")<steps><chain>
+///
+/// Sound because a DATASCAN tuple carries exactly one item: iterating
+/// it is the identity, and an empty value() result drops the tuple in
+/// both forms.
+class ElideTrivialUnnestIterateRule : public RewriteRule {
+ public:
+  std::string_view name() const override {
+    return "elide-trivial-unnest-iterate";
+  }
+
+  Result<bool> Apply(LOpPtr& slot, RewriteContext* ctx) override {
+    if (slot->kind != LOpKind::kUnnest || slot->inputs.empty()) return false;
+    const LExprPtr& e = slot->expr;
+    if (e == nullptr || !e->IsFunction(Builtin::kIterate)) return false;
+    std::vector<PathStep> steps;
+    VarId base = kNoVar;
+    if (!MatchValueChain(e->args[0], &base, &steps)) return false;
+    LOpPtr scan = slot->input();
+    if (!IsDataScanProducing(scan, base)) return false;
+    if (CountVarUses(ctx->root, base) != 1) return false;
+
+    scan->steps.insert(scan->steps.end(), steps.begin(), steps.end());
+    scan->out_var = slot->out_var;
+    slot = scan;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RewriteRule> MakeIntroduceDataScanRule() {
+  return std::make_unique<IntroduceDataScanRule>();
+}
+
+std::unique_ptr<RewriteRule> MakePushValueIntoDataScanRule() {
+  return std::make_unique<PushValueIntoDataScanRule>();
+}
+
+std::unique_ptr<RewriteRule> MakePushKeysOrMembersIntoDataScanRule() {
+  return std::make_unique<PushKeysOrMembersIntoDataScanRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeElideTrivialUnnestIterateRule() {
+  return std::make_unique<ElideTrivialUnnestIterateRule>();
+}
+
+}  // namespace jpar

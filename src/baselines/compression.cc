@@ -1,0 +1,138 @@
+#include "baselines/compression.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace jpar {
+
+namespace {
+
+constexpr size_t kWindow = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1024;
+constexpr size_t kHashSize = 1 << 15;
+
+void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool ReadVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    uint8_t b = static_cast<uint8_t>(data[(*pos)++]);
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> 17 & (kHashSize - 1);
+}
+
+}  // namespace
+
+std::string LzCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  std::vector<size_t> table(kHashSize, SIZE_MAX);
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (pos < input.size()) {
+    size_t match_pos = SIZE_MAX;
+    size_t match_len = 0;
+    if (pos + kMinMatch <= input.size()) {
+      uint32_t h = Hash4(input.data() + pos);
+      size_t candidate = table[h];
+      table[h] = pos;
+      if (candidate != SIZE_MAX && pos - candidate <= kWindow &&
+          candidate + kMinMatch <= input.size()) {
+        size_t len = 0;
+        size_t limit = input.size() - pos;
+        if (limit > kMaxMatch) limit = kMaxMatch;
+        while (len < limit && input[candidate + len] == input[pos + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch) {
+          match_pos = candidate;
+          match_len = len;
+        }
+      }
+    }
+    if (match_len == 0) {
+      ++pos;
+      continue;
+    }
+    // Emit pending literals + this match.
+    AppendVarint(pos - literal_start, &out);
+    out.append(input.substr(literal_start, pos - literal_start));
+    AppendVarint(match_len, &out);
+    AppendVarint(pos - match_pos, &out);
+    // Index a few positions inside the match so later matches can use
+    // them (cheap approximation of full indexing).
+    size_t end = pos + match_len;
+    for (size_t i = pos + 1; i + kMinMatch <= end && i < pos + 16; ++i) {
+      table[Hash4(input.data() + i)] = i;
+    }
+    pos = end;
+    literal_start = pos;
+  }
+  // Trailing literals with a zero match_len terminator.
+  AppendVarint(pos - literal_start, &out);
+  out.append(input.substr(literal_start, pos - literal_start));
+  AppendVarint(0, &out);
+  return out;
+}
+
+Result<std::string> LzDecompress(std::string_view compressed) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < compressed.size()) {
+    uint64_t literal_len;
+    if (!ReadVarint(compressed, &pos, &literal_len)) {
+      return Status::Internal("corrupt LZ stream: literal length");
+    }
+    if (pos + literal_len > compressed.size()) {
+      return Status::Internal("corrupt LZ stream: literals truncated");
+    }
+    out.append(compressed.substr(pos, literal_len));
+    pos += literal_len;
+    uint64_t match_len;
+    if (!ReadVarint(compressed, &pos, &match_len)) {
+      return Status::Internal("corrupt LZ stream: match length");
+    }
+    if (match_len == 0) {
+      if (pos != compressed.size()) {
+        return Status::Internal("corrupt LZ stream: trailing bytes");
+      }
+      return out;
+    }
+    uint64_t distance;
+    if (!ReadVarint(compressed, &pos, &distance)) {
+      return Status::Internal("corrupt LZ stream: distance");
+    }
+    if (distance == 0 || distance > out.size()) {
+      return Status::Internal("corrupt LZ stream: bad distance");
+    }
+    size_t from = out.size() - distance;
+    for (uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);  // overlapping copies are valid
+    }
+  }
+  return Status::Internal("corrupt LZ stream: missing terminator");
+}
+
+}  // namespace jpar

@@ -1,0 +1,29 @@
+#ifndef JPAR_BASELINES_COMPRESSION_H_
+#define JPAR_BASELINES_COMPRESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace jpar {
+
+/// A small LZ77-family byte compressor used by the DocStore (MongoDB
+/// model). MongoDB's snappy-per-document compression is the mechanism
+/// behind its Fig. 18 behaviour: larger documents compress better, so
+/// query time and space shrink with document size. This codec has the
+/// same property (a per-document match window), which is all the
+/// reproduction needs — ratio constants differ from snappy but the
+/// trend is identical.
+///
+/// Format: repeated blocks of
+///   varint literal_len, <literal bytes>,
+///   varint match_len (0 terminates after literals),
+///   varint match_distance (>= 1, <= 64 KiB window)
+std::string LzCompress(std::string_view input);
+
+Result<std::string> LzDecompress(std::string_view compressed);
+
+}  // namespace jpar
+
+#endif  // JPAR_BASELINES_COMPRESSION_H_

@@ -1,0 +1,87 @@
+#include "baselines/docstore.h"
+
+#include <chrono>
+
+#include "baselines/compression.h"
+#include "json/binary_serde.h"
+#include "json/parser.h"
+
+namespace jpar {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+Status DocStore::Insert(const Item& document) {
+  std::string binary = SerializeItem(document);
+  if (binary.size() > options_.max_document_bytes) {
+    return Status::ResourceExhausted(
+        "document of " + std::to_string(binary.size()) +
+        " bytes exceeds the " + std::to_string(options_.max_document_bytes) +
+        "-byte document limit");
+  }
+  std::string stored =
+      options_.compress ? LzCompress(binary) : std::move(binary);
+  stored_bytes_ += stored.size();
+  docs_.push_back(std::move(stored));
+  return Status::OK();
+}
+
+Result<LoadStats> DocStore::Load(const std::vector<std::string>& json_docs) {
+  LoadStats stats;
+  auto start = Clock::now();
+  for (const std::string& text : json_docs) {
+    stats.input_bytes += text.size();
+    JPAR_ASSIGN_OR_RETURN(Item doc, ParseJson(text));
+    JPAR_RETURN_NOT_OK(Insert(doc));
+  }
+  stats.documents = docs_.size();
+  stats.stored_bytes = stored_bytes_;
+  stats.load_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  if (options_.modeled_write_mbps > 0) {
+    stats.load_ms += static_cast<double>(stats.stored_bytes) /
+                     (options_.modeled_write_mbps * 1e6) * 1000.0;
+  }
+  return stats;
+}
+
+Status DocStore::ForEachDocument(
+    const std::function<Status(const Item&)>& fn) const {
+  for (const std::string& stored : docs_) {
+    Item doc;
+    if (options_.compress) {
+      JPAR_ASSIGN_OR_RETURN(std::string binary, LzDecompress(stored));
+      JPAR_ASSIGN_OR_RETURN(doc, DeserializeItem(binary));
+    } else {
+      JPAR_ASSIGN_OR_RETURN(doc, DeserializeItem(stored));
+    }
+    JPAR_RETURN_NOT_OK(fn(doc));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Item>> DocStore::UnwindProject(
+    const std::string& array_field,
+    const std::vector<std::string>& keep_fields) const {
+  std::vector<Item> out;
+  JPAR_RETURN_NOT_OK(ForEachDocument([&](const Item& doc) -> Status {
+    std::optional<Item> array = doc.GetField(array_field);
+    if (!array.has_value() || !array->is_array()) return Status::OK();
+    for (const Item& element : array->array()) {
+      if (!element.is_object()) continue;
+      Item::Object projected;
+      for (const std::string& field : keep_fields) {
+        std::optional<Item> value = element.GetField(field);
+        if (value.has_value()) {
+          projected.push_back({field, *std::move(value)});
+        }
+      }
+      out.push_back(Item::MakeObject(std::move(projected)));
+    }
+    return Status::OK();
+  }));
+  return out;
+}
+
+}  // namespace jpar

@@ -1,0 +1,39 @@
+#include "baselines/memtable.h"
+
+#include <chrono>
+
+#include "json/parser.h"
+
+namespace jpar {
+
+Result<LoadStats> MemTable::Load(const Collection& collection) {
+  LoadStats stats;
+  auto start = std::chrono::steady_clock::now();
+  for (const JsonFile& file : collection.files) {
+    JPAR_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> text,
+                          file.Load());
+    stats.input_bytes += text->size();
+    JPAR_ASSIGN_OR_RETURN(std::vector<Item> file_docs,
+                          ParseJsonStream(*text));
+    for (Item& doc : file_docs) {
+      JPAR_RETURN_NOT_OK(memory_.Allocate(doc.EstimateSizeBytes()));
+      docs_.push_back(std::move(doc));
+    }
+  }
+  stats.documents = docs_.size();
+  stats.stored_bytes = memory_.current_bytes();
+  stats.load_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return stats;
+}
+
+Status MemTable::ForEachDocument(
+    const std::function<Status(const Item&)>& fn) const {
+  for (const Item& doc : docs_) {
+    JPAR_RETURN_NOT_OK(fn(doc));
+  }
+  return Status::OK();
+}
+
+}  // namespace jpar

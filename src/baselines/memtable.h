@@ -1,0 +1,48 @@
+#ifndef JPAR_BASELINES_MEMTABLE_H_
+#define JPAR_BASELINES_MEMTABLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "baselines/docstore.h"  // LoadStats
+#include "common/result.h"
+#include "json/item.h"
+#include "runtime/catalog.h"
+#include "runtime/memory.h"
+
+namespace jpar {
+
+struct MemTableOptions {
+  /// Available memory for the loaded table. Loading a dataset whose
+  /// materialized form exceeds this fails — the Spark-SQL OOM cliff the
+  /// paper hits above ~2 GB inputs (Table 3 discussion).
+  uint64_t memory_limit_bytes = 0;  // 0 = unlimited
+};
+
+/// Spark-SQL-model baseline: the whole input is parsed and materialized
+/// in memory before any query runs. Queries are then fast scans over
+/// the in-memory documents, but (a) the load phase is charged per
+/// dataset (Table 2), (b) memory grows with the input (Table 3), and
+/// (c) inputs beyond the memory limit cannot be processed at all.
+class MemTable {
+ public:
+  explicit MemTable(MemTableOptions options = MemTableOptions())
+      : memory_(options.memory_limit_bytes) {}
+
+  /// Parses every file into the in-memory table.
+  Result<LoadStats> Load(const Collection& collection);
+
+  /// Scans the loaded documents (no parsing).
+  Status ForEachDocument(const std::function<Status(const Item&)>& fn) const;
+
+  uint64_t memory_bytes() const { return memory_.current_bytes(); }
+  size_t document_count() const { return docs_.size(); }
+
+ private:
+  MemoryTracker memory_;
+  std::vector<Item> docs_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_BASELINES_MEMTABLE_H_

@@ -1,0 +1,78 @@
+#ifndef JPAR_COMMON_RESULT_H_
+#define JPAR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace jpar {
+
+/// A value-or-error wrapper in the style of arrow::Result. A Result is
+/// either an engaged value of type T or a non-OK Status; constructing one
+/// from an OK status is a programming error.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversions so `return value;` and `return status;` both work.
+  Result(T value) : state_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {
+    assert(!std::get<Status>(state_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> state_;
+};
+
+}  // namespace jpar
+
+#define JPAR_CONCAT_IMPL_(a, b) a##b
+#define JPAR_CONCAT_(a, b) JPAR_CONCAT_IMPL_(a, b)
+
+/// Evaluates an expression yielding Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs` (which may be a
+/// declaration, e.g. `auto x`).
+#define JPAR_ASSIGN_OR_RETURN(lhs, expr)                       \
+  JPAR_ASSIGN_OR_RETURN_IMPL_(JPAR_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define JPAR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // JPAR_COMMON_RESULT_H_

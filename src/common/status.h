@@ -1,0 +1,91 @@
+#ifndef JPAR_COMMON_STATUS_H_
+#define JPAR_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace jpar {
+
+/// Error categories used across the engine. Mirrors the Arrow/RocksDB
+/// convention of status-based error handling: no exceptions cross public
+/// API boundaries.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,       // malformed JSON or JSONiq text
+  kTypeError = 3,        // dynamic type mismatch during evaluation
+  kNotFound = 4,         // missing collection, file, or variable
+  kUnsupported = 5,      // feature outside the implemented subset
+  kResourceExhausted = 6,  // memory budget or document-size limits
+  kIOError = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the OK case (no
+/// allocation); error state carries a code and a message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace jpar
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define JPAR_RETURN_NOT_OK(expr)                    \
+  do {                                              \
+    ::jpar::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#endif  // JPAR_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#include "core/engine.h"
+
+#include "jsoniq/parser.h"
+#include "jsoniq/translator.h"
+
+namespace jpar {
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+Result<CompiledQuery> Engine::Compile(std::string_view query) const {
+  JPAR_ASSIGN_OR_RETURN(AstPtr ast, ParseQuery(query));
+  JPAR_ASSIGN_OR_RETURN(LogicalPlan plan, TranslateToLogical(ast));
+
+  CompiledQuery compiled;
+  compiled.original_plan = plan.ToString();
+
+  RewriteEngine rewriter(options_.rules);
+  JPAR_ASSIGN_OR_RETURN(compiled.fired_rules,
+                        rewriter.Rewrite(&plan, &catalog_));
+  // Algebricks-core variable pruning: always on, independent of the
+  // JSONiq rule categories (see InsertProjections).
+  JPAR_RETURN_NOT_OK(InsertProjections(&plan));
+  compiled.optimized_plan = plan.ToString();
+
+  PhysicalOptions popts;
+  popts.two_step_aggregation = options_.rules.two_step_aggregation;
+  JPAR_ASSIGN_OR_RETURN(compiled.physical, TranslateToPhysical(plan, popts));
+  compiled.logical = std::move(plan);
+  return compiled;
+}
+
+Result<QueryOutput> Engine::Execute(const CompiledQuery& query) const {
+  Executor executor(&catalog_, options_.exec);
+  return executor.Run(query.physical);
+}
+
+Result<QueryOutput> Engine::Run(std::string_view query) const {
+  JPAR_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query));
+  return Execute(compiled);
+}
+
+}  // namespace jpar

@@ -1,0 +1,67 @@
+#ifndef JPAR_CORE_ENGINE_H_
+#define JPAR_CORE_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/logical_plan.h"
+#include "algebra/physical_translator.h"
+#include "algebra/rewriter.h"
+#include "common/result.h"
+#include "runtime/catalog.h"
+#include "runtime/executor.h"
+
+namespace jpar {
+
+/// Everything the engine needs to compile and run queries.
+struct EngineOptions {
+  RuleOptions rules;  // which rewrite-rule categories are active
+  ExecOptions exec;   // parallelism, frame size, memory limit, network
+};
+
+/// A compiled query: both plan forms (printable, for tests and EXPLAIN)
+/// plus the executable physical plan.
+struct CompiledQuery {
+  std::string original_plan;   // naive plan, pre-rewrite (paper Fig. 3/5/9)
+  std::string optimized_plan;  // post-rewrite
+  std::vector<std::string> fired_rules;
+  LogicalPlan logical;         // post-rewrite logical plan
+  PhysicalPlan physical;
+};
+
+/// The public face of the processor: register data in the catalog,
+/// compile JSONiq, execute.
+///
+///   jpar::Engine engine;
+///   engine.catalog()->RegisterCollection("sensors", ...);
+///   auto result = engine.Run("for $r in collection(\"/sensors\") ...");
+///
+/// Thread-compatible: configure and register data first, then share
+/// const access across threads.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = EngineOptions());
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+  const EngineOptions& options() const { return options_; }
+  void set_options(const EngineOptions& options) { options_ = options; }
+
+  /// Parses, translates, rewrites, and lowers a query.
+  Result<CompiledQuery> Compile(std::string_view query) const;
+
+  /// Executes a compiled query against the catalog.
+  Result<QueryOutput> Execute(const CompiledQuery& query) const;
+
+  /// Compile + Execute.
+  Result<QueryOutput> Run(std::string_view query) const;
+
+ private:
+  EngineOptions options_;
+  Catalog catalog_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_CORE_ENGINE_H_

@@ -1,0 +1,150 @@
+#include "data/sensor_generator.h"
+
+#include <cstdio>
+
+namespace jpar {
+
+namespace {
+
+/// Deterministic 64-bit mix (splitmix64): stable across platforms,
+/// unlike std::mt19937 distributions.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = Mix(state_);
+    return state_;
+  }
+  int NextInt(int bound) {
+    return static_cast<int>(Next() % static_cast<uint64_t>(bound));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+int DaysInMonth(int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return kDays[month - 1];
+}
+
+void AppendMeasurement(Rng* rng, const SensorDataSpec& spec, int station_id,
+                       int64_t chrono_day, std::string* out) {
+  int year, month, day;
+  if (spec.chronological) {
+    // Map a sequential day counter into the configured year range.
+    int years = spec.end_year - spec.start_year + 1;
+    int64_t day_of_range = chrono_day % (static_cast<int64_t>(years) * 365);
+    year = spec.start_year + static_cast<int>(day_of_range / 365);
+    int64_t day_of_year = day_of_range % 365;
+    month = 1;
+    while (day_of_year >= DaysInMonth(month)) {
+      day_of_year -= DaysInMonth(month);
+      ++month;
+      if (month > 12) {
+        month = 12;
+        day_of_year = DaysInMonth(12) - 1;
+        break;
+      }
+    }
+    day = 1 + static_cast<int>(day_of_year);
+  } else {
+    year = spec.start_year +
+           rng->NextInt(spec.end_year - spec.start_year + 1);
+    month = 1 + rng->NextInt(12);
+    day = 1 + rng->NextInt(DaysInMonth(month));
+  }
+  const char* data_type =
+      kDataTypes[rng->NextInt(static_cast<int>(std::size(kDataTypes)))];
+  int value = -200 + rng->NextInt(600);  // tenths of a degree / units
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"date\":\"%04d%02d%02dT00:00\",\"dataType\":\"%s\","
+                "\"station\":\"GSW%06d\",\"value\":%d}",
+                year, month, day, data_type, station_id, value);
+  out->append(buf);
+}
+
+void AppendRecord(Rng* rng, const SensorDataSpec& spec, int64_t chrono_day,
+                  std::string* out) {
+  out->append("{\"metadata\":{\"count\":");
+  out->append(std::to_string(spec.measurements_per_array));
+  out->append("},\"results\":[");
+  // One station per record: measurements of a station over a period,
+  // as in the paper's description of the dataset.
+  int station_id = rng->NextInt(spec.num_stations);
+  for (int m = 0; m < spec.measurements_per_array; ++m) {
+    if (m > 0) out->push_back(',');
+    AppendMeasurement(rng, spec, station_id, chrono_day, out);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+uint64_t SensorDataSpec::ApproxBytes() const {
+  // ~105 bytes per measurement + ~40 bytes per record envelope.
+  uint64_t per_record =
+      40 + static_cast<uint64_t>(measurements_per_array) * 105;
+  return per_record * static_cast<uint64_t>(records_per_file) *
+         static_cast<uint64_t>(num_files);
+}
+
+std::string GenerateSensorFile(const SensorDataSpec& spec, int file_index) {
+  Rng rng(Mix(spec.seed) ^ static_cast<uint64_t>(file_index) * 0x5851F42Dull);
+  std::string out;
+  out.reserve(static_cast<size_t>(spec.ApproxBytes() /
+                                  (spec.num_files > 0 ? spec.num_files : 1)) +
+              64);
+  out.append("{\"root\":[");
+  for (int r = 0; r < spec.records_per_file; ++r) {
+    if (r > 0) out.push_back(',');
+    int64_t chrono_day =
+        static_cast<int64_t>(file_index) * spec.records_per_file + r;
+    AppendRecord(&rng, spec, chrono_day, &out);
+  }
+  out.append("]}");
+  return out;
+}
+
+Collection GenerateSensorCollection(const SensorDataSpec& spec) {
+  Collection collection;
+  collection.files.reserve(static_cast<size_t>(spec.num_files));
+  for (int f = 0; f < spec.num_files; ++f) {
+    collection.files.push_back(JsonFile::FromText(GenerateSensorFile(spec, f)));
+  }
+  return collection;
+}
+
+SensorDataSpec SpecForBytes(SensorDataSpec spec, uint64_t target_bytes) {
+  uint64_t per_file = spec.ApproxBytes() /
+                      (spec.num_files > 0 ? spec.num_files : 1);
+  if (per_file == 0) per_file = 1;
+  uint64_t files = target_bytes / per_file;
+  spec.num_files = files > 0 ? static_cast<int>(files) : 1;
+  return spec;
+}
+
+std::vector<std::string> GenerateUnwrappedDocuments(
+    const SensorDataSpec& spec, int file_index) {
+  Rng rng(Mix(spec.seed) ^ static_cast<uint64_t>(file_index) * 0x5851F42Dull);
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<size_t>(spec.records_per_file));
+  for (int r = 0; r < spec.records_per_file; ++r) {
+    std::string doc;
+    int64_t chrono_day =
+        static_cast<int64_t>(file_index) * spec.records_per_file + r;
+    AppendRecord(&rng, spec, chrono_day, &doc);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace jpar

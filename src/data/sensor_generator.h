@@ -1,0 +1,73 @@
+#ifndef JPAR_DATA_SENSOR_GENERATOR_H_
+#define JPAR_DATA_SENSOR_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/catalog.h"
+
+namespace jpar {
+
+/// Configuration for the synthetic GHCN-Daily-shaped dataset (the
+/// paper's NOAA sensor data, Listing 6):
+///
+///   { "root": [ { "metadata": { "count": N },
+///                 "results": [ { "date": "...", "dataType": "TMIN",
+///                                "station": "GSW...", "value": V }, ... ]
+///               }, ... ] }
+///
+/// The real 803 GB dump is not available offline; this generator
+/// produces structurally identical files with seeded determinism so
+/// every experiment is reproducible byte-for-byte.
+struct SensorDataSpec {
+  /// Measurements per "results" array (the paper varies 30..1 in
+  /// Fig. 18; 30 ~ one month per document).
+  int measurements_per_array = 30;
+  /// root-array entries ({metadata, results} objects) per file.
+  int records_per_file = 32;
+  /// Number of files in the collection.
+  int num_files = 8;
+  /// Distinct weather stations.
+  int num_stations = 64;
+  /// Years covered (dates are spread uniformly).
+  int start_year = 2000;
+  int end_year = 2014;
+  /// RNG seed; same spec + seed => identical bytes.
+  uint64_t seed = 42;
+  /// Chronological mode: each record covers one date, dates advance
+  /// sequentially across records and files (real sensor archives have
+  /// this temporal locality). Used by the path-index experiments — a
+  /// date index prunes almost all files only when files cover narrow
+  /// date ranges.
+  bool chronological = false;
+
+  /// Approximate total JSON bytes for this spec (exact after generation).
+  uint64_t ApproxBytes() const;
+};
+
+/// Data types cycled through measurements. TMIN/TMAX dominate so that
+/// the paper's Q1 (TMIN filter) and Q2 (TMIN/TMAX self-join) have
+/// realistic selectivity.
+inline constexpr const char* kDataTypes[] = {"TMIN", "TMAX", "WIND", "PRCP"};
+
+/// Generates one sensor file's JSON text. `file_index` perturbs the
+/// stream so files differ.
+std::string GenerateSensorFile(const SensorDataSpec& spec, int file_index);
+
+/// Generates the whole collection.
+Collection GenerateSensorCollection(const SensorDataSpec& spec);
+
+/// Scales `spec.num_files` so the collection is roughly `target_bytes`
+/// (at least one file).
+SensorDataSpec SpecForBytes(SensorDataSpec spec, uint64_t target_bytes);
+
+/// Unwrapped variant for the MongoDB/AsterixDB comparisons (Fig. 18):
+/// each {metadata, results} record is its own document (one JSON text
+/// per document) instead of being wrapped in a "root" array.
+std::vector<std::string> GenerateUnwrappedDocuments(
+    const SensorDataSpec& spec, int file_index);
+
+}  // namespace jpar
+
+#endif  // JPAR_DATA_SENSOR_GENERATOR_H_

@@ -1,0 +1,186 @@
+#include "json/binary_serde.h"
+
+#include <cstring>
+
+namespace jpar {
+
+void ItemWriter::AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void ItemWriter::Write(const Item& item) {
+  out_.push_back(static_cast<char>(item.kind()));
+  switch (item.kind()) {
+    case ItemKind::kNull:
+      return;
+    case ItemKind::kBoolean:
+      out_.push_back(item.boolean_value() ? 1 : 0);
+      return;
+    case ItemKind::kInt64:
+      AppendVarint(ZigZag(item.int64_value()), &out_);
+      return;
+    case ItemKind::kDouble: {
+      double v = item.double_value();
+      char buf[sizeof(double)];
+      std::memcpy(buf, &v, sizeof(double));
+      out_.append(buf, sizeof(double));
+      return;
+    }
+    case ItemKind::kString: {
+      const std::string& s = item.string_value();
+      AppendVarint(s.size(), &out_);
+      out_.append(s);
+      return;
+    }
+    case ItemKind::kDateTime: {
+      const DateTimeValue& dt = item.datetime_value();
+      char buf[4];
+      std::memcpy(buf, &dt.year, sizeof(int32_t));
+      out_.append(buf, sizeof(int32_t));
+      out_.push_back(static_cast<char>(dt.month));
+      out_.push_back(static_cast<char>(dt.day));
+      out_.push_back(static_cast<char>(dt.hour));
+      out_.push_back(static_cast<char>(dt.minute));
+      out_.push_back(static_cast<char>(dt.second));
+      return;
+    }
+    case ItemKind::kArray:
+    case ItemKind::kSequence: {
+      const Item::ItemVector& elems =
+          item.is_array() ? item.array() : item.sequence();
+      AppendVarint(elems.size(), &out_);
+      for (const Item& e : elems) Write(e);
+      return;
+    }
+    case ItemKind::kObject: {
+      const Item::Object& fields = item.object();
+      AppendVarint(fields.size(), &out_);
+      for (const Item::Field& f : fields) {
+        AppendVarint(f.key.size(), &out_);
+        out_.append(f.key);
+        Write(f.value);
+      }
+      return;
+    }
+  }
+}
+
+Result<uint64_t> ItemReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::Internal("corrupt varint in binary item");
+}
+
+Result<Item> ItemReader::ReadValue(int depth) {
+  if (depth > 512) return Status::Internal("binary item too deeply nested");
+  if (pos_ >= data_.size()) {
+    return Status::Internal("truncated binary item");
+  }
+  ItemKind kind = static_cast<ItemKind>(data_[pos_++]);
+  switch (kind) {
+    case ItemKind::kNull:
+      return Item::Null();
+    case ItemKind::kBoolean: {
+      if (pos_ >= data_.size()) {
+        return Status::Internal("truncated boolean");
+      }
+      return Item::Boolean(data_[pos_++] != 0);
+    }
+    case ItemKind::kInt64: {
+      JPAR_ASSIGN_OR_RETURN(uint64_t v, ReadVarint());
+      return Item::Int64(UnZigZag(v));
+    }
+    case ItemKind::kDouble: {
+      if (pos_ + sizeof(double) > data_.size()) {
+        return Status::Internal("truncated double");
+      }
+      double v;
+      std::memcpy(&v, data_.data() + pos_, sizeof(double));
+      pos_ += sizeof(double);
+      return Item::Double(v);
+    }
+    case ItemKind::kString: {
+      JPAR_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+      if (pos_ + len > data_.size()) {
+        return Status::Internal("truncated string");
+      }
+      Item out = Item::String(data_.substr(pos_, len));
+      pos_ += len;
+      return out;
+    }
+    case ItemKind::kDateTime: {
+      if (pos_ + 9 > data_.size()) {
+        return Status::Internal("truncated dateTime");
+      }
+      DateTimeValue dt;
+      std::memcpy(&dt.year, data_.data() + pos_, sizeof(int32_t));
+      pos_ += sizeof(int32_t);
+      dt.month = static_cast<int8_t>(data_[pos_++]);
+      dt.day = static_cast<int8_t>(data_[pos_++]);
+      dt.hour = static_cast<int8_t>(data_[pos_++]);
+      dt.minute = static_cast<int8_t>(data_[pos_++]);
+      dt.second = static_cast<int8_t>(data_[pos_++]);
+      return Item::DateTime(dt);
+    }
+    case ItemKind::kArray:
+    case ItemKind::kSequence: {
+      JPAR_ASSIGN_OR_RETURN(uint64_t count, ReadVarint());
+      Item::ItemVector elems;
+      elems.reserve(count < 4096 ? count : 4096);
+      for (uint64_t i = 0; i < count; ++i) {
+        JPAR_ASSIGN_OR_RETURN(Item e, ReadValue(depth + 1));
+        elems.push_back(std::move(e));
+      }
+      if (kind == ItemKind::kArray) return Item::MakeArray(std::move(elems));
+      return Item::MakeSequence(std::move(elems));
+    }
+    case ItemKind::kObject: {
+      JPAR_ASSIGN_OR_RETURN(uint64_t count, ReadVarint());
+      Item::Object fields;
+      fields.reserve(count < 4096 ? count : 4096);
+      for (uint64_t i = 0; i < count; ++i) {
+        JPAR_ASSIGN_OR_RETURN(uint64_t klen, ReadVarint());
+        if (pos_ + klen > data_.size()) {
+          return Status::Internal("truncated object key");
+        }
+        std::string key(data_.substr(pos_, klen));
+        pos_ += klen;
+        JPAR_ASSIGN_OR_RETURN(Item v, ReadValue(depth + 1));
+        fields.push_back({std::move(key), std::move(v)});
+      }
+      return Item::MakeObject(std::move(fields));
+    }
+  }
+  return Status::Internal("unknown item kind tag");
+}
+
+Result<Item> ItemReader::Read() { return ReadValue(0); }
+
+std::string SerializeItem(const Item& item) {
+  std::string out;
+  ItemWriter writer(&out);
+  writer.Write(item);
+  return out;
+}
+
+Result<Item> DeserializeItem(std::string_view data) {
+  ItemReader reader(data);
+  JPAR_ASSIGN_OR_RETURN(Item item, reader.Read());
+  if (!reader.AtEnd()) {
+    return Status::Internal("trailing bytes after binary item");
+  }
+  return item;
+}
+
+}  // namespace jpar

@@ -1,0 +1,70 @@
+#ifndef JPAR_JSON_BINARY_SERDE_H_
+#define JPAR_JSON_BINARY_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/item.h"
+
+namespace jpar {
+
+/// Compact tag-length-value binary encoding of Items. This is the
+/// physical record format used inside dataflow frames (the Hyracks
+/// analogue of its binary tuple accessors) and by the AsterixDB-like
+/// baseline's pre-loaded "ADM" store.
+///
+/// Layout: 1 tag byte, then
+///   null            -> nothing
+///   boolean         -> 1 byte
+///   int64           -> varint (zigzag)
+///   double          -> 8 bytes little-endian
+///   string          -> varint length + bytes
+///   datetime        -> 4B year + 5 x 1B fields
+///   array/sequence  -> varint count + elements
+///   object          -> varint count + (varint keylen + key + value)*
+class ItemWriter {
+ public:
+  explicit ItemWriter(std::string* out) : out_(*out) {}
+
+  void Write(const Item& item);
+
+  static void AppendVarint(uint64_t v, std::string* out);
+  static uint64_t ZigZag(int64_t v) {
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+  }
+
+ private:
+  std::string& out_;
+};
+
+class ItemReader {
+ public:
+  explicit ItemReader(std::string_view data) : data_(data) {}
+
+  Result<Item> Read();
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+  static int64_t UnZigZag(uint64_t v) {
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+
+ private:
+  Result<uint64_t> ReadVarint();
+  Result<Item> ReadValue(int depth);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Convenience round-trip helpers.
+std::string SerializeItem(const Item& item);
+Result<Item> DeserializeItem(std::string_view data);
+
+}  // namespace jpar
+
+#endif  // JPAR_JSON_BINARY_SERDE_H_

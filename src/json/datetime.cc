@@ -1,0 +1,110 @@
+#include "json/datetime.h"
+
+#include <cstdio>
+
+namespace jpar {
+
+namespace {
+
+// Parses exactly `n` digits starting at `pos`; advances pos on success.
+bool ParseDigits(std::string_view s, size_t* pos, int n, int32_t* out) {
+  if (*pos + static_cast<size_t>(n) > s.size()) return false;
+  int32_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    char c = s[*pos + static_cast<size_t>(i)];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *pos += static_cast<size_t>(n);
+  *out = v;
+  return true;
+}
+
+bool Consume(std::string_view s, size_t* pos, char c) {
+  if (*pos < s.size() && s[*pos] == c) {
+    ++*pos;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int DateTimeValue::Compare(const DateTimeValue& other) const {
+  auto cmp = [](int64_t a, int64_t b) { return (a > b) - (a < b); };
+  if (int c = cmp(year, other.year)) return c;
+  if (int c = cmp(month, other.month)) return c;
+  if (int c = cmp(day, other.day)) return c;
+  if (int c = cmp(hour, other.hour)) return c;
+  if (int c = cmp(minute, other.minute)) return c;
+  return cmp(second, other.second);
+}
+
+Result<DateTimeValue> ParseDateTime(std::string_view text) {
+  DateTimeValue dt;
+  size_t pos = 0;
+  int32_t y, mo, d;
+  if (!ParseDigits(text, &pos, 4, &y)) {
+    return Status::ParseError("dateTime: bad year in '" + std::string(text) +
+                              "'");
+  }
+  bool dashed = Consume(text, &pos, '-');
+  if (!ParseDigits(text, &pos, 2, &mo)) {
+    return Status::ParseError("dateTime: bad month in '" + std::string(text) +
+                              "'");
+  }
+  if (dashed && !Consume(text, &pos, '-')) {
+    return Status::ParseError("dateTime: expected '-' in '" +
+                              std::string(text) + "'");
+  }
+  if (!ParseDigits(text, &pos, 2, &d)) {
+    return Status::ParseError("dateTime: bad day in '" + std::string(text) +
+                              "'");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31) {
+    return Status::ParseError("dateTime: out-of-range date in '" +
+                              std::string(text) + "'");
+  }
+  dt.year = y;
+  dt.month = static_cast<int8_t>(mo);
+  dt.day = static_cast<int8_t>(d);
+  if (pos == text.size()) return dt;
+  if (!Consume(text, &pos, 'T')) {
+    return Status::ParseError("dateTime: expected 'T' in '" +
+                              std::string(text) + "'");
+  }
+  int32_t h, mi;
+  if (!ParseDigits(text, &pos, 2, &h) || !Consume(text, &pos, ':') ||
+      !ParseDigits(text, &pos, 2, &mi)) {
+    return Status::ParseError("dateTime: bad time in '" + std::string(text) +
+                              "'");
+  }
+  if (h > 23 || mi > 59) {
+    return Status::ParseError("dateTime: out-of-range time in '" +
+                              std::string(text) + "'");
+  }
+  dt.hour = static_cast<int8_t>(h);
+  dt.minute = static_cast<int8_t>(mi);
+  if (Consume(text, &pos, ':')) {
+    int32_t se;
+    if (!ParseDigits(text, &pos, 2, &se) || se > 59) {
+      return Status::ParseError("dateTime: bad seconds in '" +
+                                std::string(text) + "'");
+    }
+    dt.second = static_cast<int8_t>(se);
+  }
+  if (pos != text.size()) {
+    return Status::ParseError("dateTime: trailing characters in '" +
+                              std::string(text) + "'");
+  }
+  return dt;
+}
+
+std::string FormatDateTime(const DateTimeValue& dt) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d", dt.year,
+                dt.month, dt.day, dt.hour, dt.minute, dt.second);
+  return buf;
+}
+
+}  // namespace jpar

@@ -1,0 +1,44 @@
+#ifndef JPAR_JSON_DATETIME_H_
+#define JPAR_JSON_DATETIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace jpar {
+
+/// Calendar date-time with minute/second precision, the granularity used
+/// by the paper's NOAA sensor queries (dateTime, year-from-dateTime,
+/// month-from-dateTime, day-from-dateTime).
+struct DateTimeValue {
+  int32_t year = 0;
+  int8_t month = 1;   // 1..12
+  int8_t day = 1;     // 1..31
+  int8_t hour = 0;    // 0..23
+  int8_t minute = 0;  // 0..59
+  int8_t second = 0;  // 0..59
+
+  friend bool operator==(const DateTimeValue& a, const DateTimeValue& b) {
+    return a.year == b.year && a.month == b.month && a.day == b.day &&
+           a.hour == b.hour && a.minute == b.minute && a.second == b.second;
+  }
+
+  /// Lexicographic (chronological) three-way comparison.
+  int Compare(const DateTimeValue& other) const;
+};
+
+/// Parses the date-time formats appearing in the paper's dataset and in
+/// ISO 8601:
+///   "YYYYMMDD"              (compact date)
+///   "YYYYMMDDTHH:MM[:SS]"   (paper's sensor "date" field)
+///   "YYYY-MM-DD[THH:MM[:SS]]" (ISO)
+Result<DateTimeValue> ParseDateTime(std::string_view text);
+
+/// Formats as ISO 8601 "YYYY-MM-DDTHH:MM:SS".
+std::string FormatDateTime(const DateTimeValue& dt);
+
+}  // namespace jpar
+
+#endif  // JPAR_JSON_DATETIME_H_

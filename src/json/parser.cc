@@ -1,0 +1,285 @@
+#include "json/parser.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace jpar {
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+Status JsonCursor::ErrorHere(std::string msg) const {
+  return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+}
+
+void JsonCursor::SkipWhitespace() {
+  while (pos_ < text_.size()) {
+    char c = text_[pos_];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+Status JsonCursor::Expect(char c) {
+  SkipWhitespace();
+  if (!Consume(c)) {
+    return ErrorHere(std::string("expected '") + c + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> JsonCursor::ParseString() {
+  SkipWhitespace();
+  if (!Consume('"')) return ErrorHere("expected string");
+  std::string out;
+  while (pos_ < text_.size()) {
+    char c = text_[pos_++];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (pos_ >= text_.size()) return ErrorHere("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return ErrorHere("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return ErrorHere("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through individually; sufficient for this engine's data).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return ErrorHere("unknown escape");
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return ErrorHere("unterminated string");
+}
+
+Result<Item> JsonCursor::ParseNumber() {
+  size_t start = pos_;
+  if (Peek() == '-') ++pos_;
+  while (IsDigit(Peek())) ++pos_;
+  bool is_double = false;
+  if (Peek() == '.') {
+    is_double = true;
+    ++pos_;
+    if (!IsDigit(Peek())) return ErrorHere("digit expected after '.'");
+    while (IsDigit(Peek())) ++pos_;
+  }
+  if (Peek() == 'e' || Peek() == 'E') {
+    is_double = true;
+    ++pos_;
+    if (Peek() == '+' || Peek() == '-') ++pos_;
+    if (!IsDigit(Peek())) return ErrorHere("digit expected in exponent");
+    while (IsDigit(Peek())) ++pos_;
+  }
+  if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+    return ErrorHere("invalid number");
+  }
+  std::string token(text_.substr(start, pos_ - start));
+  if (!is_double) {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (errno != ERANGE && end == token.c_str() + token.size()) {
+      return Item::Int64(v);
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  double d = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    return ErrorHere("invalid number");
+  }
+  return Item::Double(d);
+}
+
+Result<Item> JsonCursor::ParseValue(int depth) {
+  if (depth > kMaxDepth) return ErrorHere("document too deeply nested");
+  SkipWhitespace();
+  char c = Peek();
+  switch (c) {
+    case '{': {
+      ++pos_;
+      Item::Object fields;
+      SkipWhitespace();
+      if (Consume('}')) return Item::MakeObject(std::move(fields));
+      while (true) {
+        JPAR_ASSIGN_OR_RETURN(std::string key, ParseString());
+        JPAR_RETURN_NOT_OK(Expect(':'));
+        JPAR_ASSIGN_OR_RETURN(Item value, ParseValue(depth + 1));
+        fields.push_back({std::move(key), std::move(value)});
+        SkipWhitespace();
+        if (Consume(',')) {
+          SkipWhitespace();
+          continue;
+        }
+        if (Consume('}')) return Item::MakeObject(std::move(fields));
+        return ErrorHere("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++pos_;
+      Item::ItemVector elems;
+      SkipWhitespace();
+      if (Consume(']')) return Item::MakeArray(std::move(elems));
+      while (true) {
+        JPAR_ASSIGN_OR_RETURN(Item value, ParseValue(depth + 1));
+        elems.push_back(std::move(value));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume(']')) return Item::MakeArray(std::move(elems));
+        return ErrorHere("expected ',' or ']' in array");
+      }
+    }
+    case '"': {
+      JPAR_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Item::String(std::move(s));
+    }
+    case 't':
+      if (text_.substr(pos_, 4) == "true") {
+        pos_ += 4;
+        return Item::Boolean(true);
+      }
+      return ErrorHere("invalid literal");
+    case 'f':
+      if (text_.substr(pos_, 5) == "false") {
+        pos_ += 5;
+        return Item::Boolean(false);
+      }
+      return ErrorHere("invalid literal");
+    case 'n':
+      if (text_.substr(pos_, 4) == "null") {
+        pos_ += 4;
+        return Item::Null();
+      }
+      return ErrorHere("invalid literal");
+    default:
+      if (c == '-' || IsDigit(c)) return ParseNumber();
+      return ErrorHere("unexpected character");
+  }
+}
+
+Status JsonCursor::SkipValue(int depth) {
+  if (depth > kMaxDepth) return ErrorHere("document too deeply nested");
+  SkipWhitespace();
+  char c = Peek();
+  switch (c) {
+    case '{': {
+      ++pos_;
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      while (true) {
+        JPAR_ASSIGN_OR_RETURN(std::string key, ParseString());
+        (void)key;
+        JPAR_RETURN_NOT_OK(Expect(':'));
+        JPAR_RETURN_NOT_OK(SkipValue(depth + 1));
+        SkipWhitespace();
+        if (Consume(',')) {
+          SkipWhitespace();
+          continue;
+        }
+        if (Consume('}')) return Status::OK();
+        return ErrorHere("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++pos_;
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      while (true) {
+        JPAR_RETURN_NOT_OK(SkipValue(depth + 1));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume(']')) return Status::OK();
+        return ErrorHere("expected ',' or ']' in array");
+      }
+    }
+    case '"': {
+      JPAR_ASSIGN_OR_RETURN(std::string s, ParseString());
+      (void)s;
+      return Status::OK();
+    }
+    default: {
+      JPAR_ASSIGN_OR_RETURN(Item v, ParseValue(depth));
+      (void)v;
+      return Status::OK();
+    }
+  }
+}
+
+Result<Item> ParseJson(std::string_view text) {
+  JsonCursor cursor(text);
+  JPAR_ASSIGN_OR_RETURN(Item item, cursor.ParseValue());
+  if (!cursor.AtEnd()) {
+    return cursor.ErrorHere("trailing characters after JSON document");
+  }
+  return item;
+}
+
+Result<std::vector<Item>> ParseJsonStream(std::string_view text) {
+  std::vector<Item> docs;
+  JsonCursor cursor(text);
+  while (!cursor.AtEnd()) {
+    JPAR_ASSIGN_OR_RETURN(Item item, cursor.ParseValue());
+    docs.push_back(std::move(item));
+  }
+  return docs;
+}
+
+}  // namespace jpar

@@ -1,0 +1,69 @@
+#ifndef JPAR_JSON_PARSER_H_
+#define JPAR_JSON_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "json/item.h"
+
+namespace jpar {
+
+/// Parses a complete JSON document into an Item (DOM). Numbers without
+/// fraction/exponent that fit int64 become kInt64, otherwise kDouble.
+/// Trailing non-whitespace after the document is an error.
+Result<Item> ParseJson(std::string_view text);
+
+/// Parses a stream of concatenated or newline-delimited JSON documents
+/// (NDJSON). Whitespace-only input yields zero documents. Collection
+/// files are streams: a file may hold one document or many.
+Result<std::vector<Item>> ParseJsonStream(std::string_view text);
+
+/// Internal recursive-descent cursor shared by the DOM parser and the
+/// projecting reader. Exposed in the header for the projecting reader
+/// and for white-box tests.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  /// Parses one JSON value at the cursor into a DOM Item.
+  Result<Item> ParseValue(int depth = 0);
+
+  /// Skips one JSON value without materializing it. This is what makes
+  /// path-projected scans cheap: non-matching subtrees are scanned
+  /// byte-by-byte but never allocated.
+  Status SkipValue(int depth = 0);
+
+  /// Parses a JSON string at the cursor (cursor must be at '"').
+  Result<std::string> ParseString();
+
+  void SkipWhitespace();
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos_ >= text_.size();
+  }
+  size_t position() const { return pos_; }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ErrorHere(std::string msg) const;
+
+  /// Maximum nesting depth accepted before reporting an error (guards
+  /// against stack exhaustion on adversarial inputs).
+  static constexpr int kMaxDepth = 512;
+
+ private:
+  Result<Item> ParseNumber();
+  Status Expect(char c);
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_JSON_PARSER_H_

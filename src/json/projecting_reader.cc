@@ -1,0 +1,234 @@
+#include "json/projecting_reader.h"
+
+#include "json/parser.h"
+
+namespace jpar {
+
+std::string PathStep::ToString() const {
+  switch (kind) {
+    case Kind::kKey:
+      return "(\"" + key + "\")";
+    case Kind::kIndex:
+      return "(" + std::to_string(index) + ")";
+    case Kind::kKeysOrMembers:
+      return "()";
+  }
+  return "?";
+}
+
+std::string PathToString(const std::vector<PathStep>& steps) {
+  std::string out;
+  for (const PathStep& s : steps) out += s.ToString();
+  return out;
+}
+
+namespace {
+
+/// Recursive projector over a JsonCursor. At each level, `step` indexes
+/// into `steps`; when all steps are consumed the value at the cursor is
+/// materialized and emitted.
+class Projector {
+ public:
+  Projector(JsonCursor* cursor, const std::vector<PathStep>& steps,
+            const std::function<Status(Item)>& sink, ProjectionStats* stats)
+      : cursor_(*cursor), steps_(steps), sink_(sink), stats_(stats) {}
+
+  Status Project(size_t step, int depth) {
+    if (depth > JsonCursor::kMaxDepth) {
+      return cursor_.ErrorHere("document too deeply nested");
+    }
+    if (step == steps_.size()) return Emit();
+    const PathStep& s = steps_[step];
+    cursor_.SkipWhitespace();
+    char c = cursor_.Peek();
+    switch (s.kind) {
+      case PathStep::Kind::kKey: {
+        if (c != '{') return cursor_.SkipValue(depth);
+        return ProjectObjectKey(s.key, step, depth);
+      }
+      case PathStep::Kind::kIndex: {
+        if (c != '[') return cursor_.SkipValue(depth);
+        return ProjectArrayIndex(s.index, step, depth);
+      }
+      case PathStep::Kind::kKeysOrMembers: {
+        if (c == '[') return ProjectArrayMembers(step, depth);
+        if (c == '{') return ProjectObjectKeys(step, depth);
+        // keys-or-members on an atomic yields the empty sequence.
+        return cursor_.SkipValue(depth);
+      }
+    }
+    return Status::Internal("unreachable path step kind");
+  }
+
+ private:
+  Status Emit() {
+    JPAR_ASSIGN_OR_RETURN(Item item, cursor_.ParseValue());
+    if (stats_ != nullptr) {
+      ++stats_->items_emitted;
+      stats_->bytes_materialized += item.EstimateSizeBytes();
+    }
+    return sink_(std::move(item));
+  }
+
+  Status ProjectObjectKey(const std::string& key, size_t step, int depth) {
+    cursor_.Consume('{');
+    cursor_.SkipWhitespace();
+    if (cursor_.Consume('}')) return Status::OK();
+    while (true) {
+      JPAR_ASSIGN_OR_RETURN(std::string k, cursor_.ParseString());
+      cursor_.SkipWhitespace();
+      if (!cursor_.Consume(':')) return cursor_.ErrorHere("expected ':'");
+      if (k == key) {
+        JPAR_RETURN_NOT_OK(Project(step + 1, depth + 1));
+      } else {
+        JPAR_RETURN_NOT_OK(cursor_.SkipValue(depth + 1));
+      }
+      cursor_.SkipWhitespace();
+      if (cursor_.Consume(',')) {
+        cursor_.SkipWhitespace();
+        continue;
+      }
+      if (cursor_.Consume('}')) return Status::OK();
+      return cursor_.ErrorHere("expected ',' or '}' in object");
+    }
+  }
+
+  Status ProjectArrayIndex(int64_t index, size_t step, int depth) {
+    cursor_.Consume('[');
+    cursor_.SkipWhitespace();
+    if (cursor_.Consume(']')) return Status::OK();
+    int64_t pos = 1;  // JSONiq array positions are 1-based
+    while (true) {
+      if (pos == index) {
+        JPAR_RETURN_NOT_OK(Project(step + 1, depth + 1));
+      } else {
+        JPAR_RETURN_NOT_OK(cursor_.SkipValue(depth + 1));
+      }
+      ++pos;
+      cursor_.SkipWhitespace();
+      if (cursor_.Consume(',')) continue;
+      if (cursor_.Consume(']')) return Status::OK();
+      return cursor_.ErrorHere("expected ',' or ']' in array");
+    }
+  }
+
+  Status ProjectArrayMembers(size_t step, int depth) {
+    cursor_.Consume('[');
+    cursor_.SkipWhitespace();
+    if (cursor_.Consume(']')) return Status::OK();
+    while (true) {
+      JPAR_RETURN_NOT_OK(Project(step + 1, depth + 1));
+      cursor_.SkipWhitespace();
+      if (cursor_.Consume(',')) continue;
+      if (cursor_.Consume(']')) return Status::OK();
+      return cursor_.ErrorHere("expected ',' or ']' in array");
+    }
+  }
+
+  Status ProjectObjectKeys(size_t step, int depth) {
+    // keys-or-members over an object yields its keys (strings); any
+    // further path steps over a plain string select nothing.
+    cursor_.Consume('{');
+    cursor_.SkipWhitespace();
+    if (cursor_.Consume('}')) return Status::OK();
+    while (true) {
+      JPAR_ASSIGN_OR_RETURN(std::string k, cursor_.ParseString());
+      cursor_.SkipWhitespace();
+      if (!cursor_.Consume(':')) return cursor_.ErrorHere("expected ':'");
+      if (step + 1 == steps_.size()) {
+        if (stats_ != nullptr) {
+          ++stats_->items_emitted;
+          stats_->bytes_materialized += sizeof(Item) + k.size();
+        }
+        JPAR_RETURN_NOT_OK(sink_(Item::String(std::move(k))));
+      }
+      JPAR_RETURN_NOT_OK(cursor_.SkipValue(depth + 1));
+      cursor_.SkipWhitespace();
+      if (cursor_.Consume(',')) {
+        cursor_.SkipWhitespace();
+        continue;
+      }
+      if (cursor_.Consume('}')) return Status::OK();
+      return cursor_.ErrorHere("expected ',' or '}' in object");
+    }
+  }
+
+  JsonCursor& cursor_;
+  const std::vector<PathStep>& steps_;
+  const std::function<Status(Item)>& sink_;
+  ProjectionStats* stats_;
+};
+
+}  // namespace
+
+Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
+                   const std::function<Status(Item)>& sink,
+                   ProjectionStats* stats) {
+  JsonCursor cursor(text);
+  Projector projector(&cursor, steps, sink, stats);
+  JPAR_RETURN_NOT_OK(projector.Project(0, 0));
+  if (!cursor.AtEnd()) {
+    return cursor.ErrorHere("trailing characters after JSON document");
+  }
+  if (stats != nullptr) stats->bytes_scanned += text.size();
+  return Status::OK();
+}
+
+Status ProjectJsonStream(std::string_view text,
+                         const std::vector<PathStep>& steps,
+                         const std::function<Status(Item)>& sink,
+                         ProjectionStats* stats) {
+  JsonCursor cursor(text);
+  Projector projector(&cursor, steps, sink, stats);
+  while (!cursor.AtEnd()) {
+    JPAR_RETURN_NOT_OK(projector.Project(0, 0));
+  }
+  if (stats != nullptr) stats->bytes_scanned += text.size();
+  return Status::OK();
+}
+
+Status NavigateItemPath(const Item& item, const std::vector<PathStep>& steps,
+                        size_t from,
+                        const std::function<Status(Item)>& sink) {
+  if (from == steps.size()) return sink(item);
+  const PathStep& step = steps[from];
+  switch (step.kind) {
+    case PathStep::Kind::kKey: {
+      if (!item.is_object()) return Status::OK();
+      std::optional<Item> field = item.GetField(step.key);
+      if (!field.has_value()) return Status::OK();
+      return NavigateItemPath(*field, steps, from + 1, sink);
+    }
+    case PathStep::Kind::kIndex: {
+      if (!item.is_array()) return Status::OK();
+      const Item::ItemVector& elems = item.array();
+      if (step.index < 1 ||
+          static_cast<size_t>(step.index) > elems.size()) {
+        return Status::OK();
+      }
+      return NavigateItemPath(elems[static_cast<size_t>(step.index - 1)],
+                              steps, from + 1, sink);
+    }
+    case PathStep::Kind::kKeysOrMembers: {
+      if (item.is_array()) {
+        for (const Item& member : item.array()) {
+          JPAR_RETURN_NOT_OK(
+              NavigateItemPath(member, steps, from + 1, sink));
+        }
+        return Status::OK();
+      }
+      if (item.is_object()) {
+        for (const ObjectField& f : item.object()) {
+          if (from + 1 == steps.size()) {
+            JPAR_RETURN_NOT_OK(sink(Item::String(f.key)));
+          }
+        }
+        return Status::OK();
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable path step kind");
+}
+
+}  // namespace jpar

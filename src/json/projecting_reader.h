@@ -1,0 +1,95 @@
+#ifndef JPAR_JSON_PROJECTING_READER_H_
+#define JPAR_JSON_PROJECTING_READER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/item.h"
+
+namespace jpar {
+
+/// One navigation step of a DATASCAN path argument (the operator's
+/// "second argument" in the paper, §4.2). A path is a list of steps:
+///   kKey            — JSONiq value() on an object, by field name
+///   kIndex          — JSONiq value() on an array, by 1-based position
+///   kKeysOrMembers  — JSONiq () : every member of an array, or every
+///                     key of an object
+struct PathStep {
+  enum class Kind : uint8_t { kKey, kIndex, kKeysOrMembers };
+
+  Kind kind = Kind::kKey;
+  std::string key;    // kKey
+  int64_t index = 0;  // kIndex, 1-based
+
+  static PathStep Key(std::string k) {
+    PathStep s;
+    s.kind = Kind::kKey;
+    s.key = std::move(k);
+    return s;
+  }
+  static PathStep Index(int64_t i) {
+    PathStep s;
+    s.kind = Kind::kIndex;
+    s.index = i;
+    return s;
+  }
+  static PathStep KeysOrMembers() {
+    PathStep s;
+    s.kind = Kind::kKeysOrMembers;
+    return s;
+  }
+
+  friend bool operator==(const PathStep& a, const PathStep& b) {
+    return a.kind == b.kind && a.key == b.key && a.index == b.index;
+  }
+
+  std::string ToString() const;
+};
+
+std::string PathToString(const std::vector<PathStep>& steps);
+
+/// Statistics a projecting scan reports back to the executor.
+struct ProjectionStats {
+  uint64_t bytes_scanned = 0;      // total input bytes consumed
+  uint64_t items_emitted = 0;      // items delivered to the sink
+  uint64_t bytes_materialized = 0;  // estimated bytes of emitted items
+};
+
+/// Streams the items selected by `steps` out of a JSON document without
+/// materializing anything else: subtrees off the path are byte-skipped.
+/// This is the execution engine of the DATASCAN operator after the
+/// pipelining rules have pushed value()/keys-or-members() steps into the
+/// scan — the reason Q0b touches only "date" strings instead of whole
+/// documents.
+///
+/// The sink is invoked once per selected item, in document order. If the
+/// path selects nothing (missing key, index out of range), the sink is
+/// simply never called. Returns the first non-OK status from parsing or
+/// from the sink.
+Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
+                   const std::function<Status(Item)>& sink,
+                   ProjectionStats* stats = nullptr);
+
+/// ProjectJson over a stream of concatenated / newline-delimited JSON
+/// documents: the path is applied to each document in turn. This is
+/// what DATASCAN actually runs — collection files may hold one
+/// document or many (NDJSON).
+Status ProjectJsonStream(std::string_view text,
+                         const std::vector<PathStep>& steps,
+                         const std::function<Status(Item)>& sink,
+                         ProjectionStats* stats = nullptr);
+
+/// In-memory analogue of ProjectJson: walks `steps[from..]` over an
+/// already materialized item, emitting each match. Used by scans over
+/// binary (pre-loaded) documents and by index construction, where there
+/// is no JSON text to stream.
+Status NavigateItemPath(const Item& item, const std::vector<PathStep>& steps,
+                        size_t from, const std::function<Status(Item)>& sink);
+
+}  // namespace jpar
+
+#endif  // JPAR_JSON_PROJECTING_READER_H_

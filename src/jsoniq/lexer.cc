@@ -1,0 +1,260 @@
+#include "jsoniq/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace jpar {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos));
+  };
+
+  while (pos < query.size()) {
+    char c = query[pos];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos;
+      continue;
+    }
+    // XQuery comments: (: ... :) (may nest).
+    if (c == '(' && pos + 1 < query.size() && query[pos + 1] == ':') {
+      int depth = 1;
+      pos += 2;
+      while (pos + 1 < query.size() && depth > 0) {
+        if (query[pos] == '(' && query[pos + 1] == ':') {
+          ++depth;
+          pos += 2;
+        } else if (query[pos] == ':' && query[pos + 1] == ')') {
+          --depth;
+          pos += 2;
+        } else {
+          ++pos;
+        }
+      }
+      if (depth > 0) return error("unterminated comment");
+      continue;
+    }
+
+    Token token;
+    token.offset = pos;
+    if (IsNameStart(c)) {
+      size_t start = pos;
+      ++pos;
+      while (pos < query.size()) {
+        if (IsNameChar(query[pos])) {
+          ++pos;
+        } else if (query[pos] == '-' && pos + 1 < query.size() &&
+                   IsNameStart(query[pos + 1])) {
+          pos += 2;
+        } else {
+          break;
+        }
+      }
+      token.kind = TokenKind::kName;
+      token.text = std::string(query.substr(start, pos - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '$') {
+      ++pos;
+      if (pos >= query.size() || !IsNameStart(query[pos])) {
+        return error("expected variable name after '$'");
+      }
+      size_t start = pos;
+      while (pos < query.size() && IsNameChar(query[pos])) ++pos;
+      token.kind = TokenKind::kVariable;
+      token.text = std::string(query.substr(start, pos - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos;
+      std::string value;
+      bool closed = false;
+      while (pos < query.size()) {
+        char d = query[pos++];
+        if (d == quote) {
+          // Doubled quote is the XQuery escape.
+          if (pos < query.size() && query[pos] == quote) {
+            value.push_back(quote);
+            ++pos;
+            continue;
+          }
+          closed = true;
+          break;
+        }
+        if (d == '\\' && pos < query.size()) {
+          char e = query[pos++];
+          switch (e) {
+            case 'n':
+              value.push_back('\n');
+              break;
+            case 't':
+              value.push_back('\t');
+              break;
+            case '\\':
+              value.push_back('\\');
+              break;
+            case '"':
+              value.push_back('"');
+              break;
+            case '\'':
+              value.push_back('\'');
+              break;
+            default:
+              value.push_back(e);
+          }
+          continue;
+        }
+        value.push_back(d);
+      }
+      if (!closed) return error("unterminated string literal");
+      token.kind = TokenKind::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos;
+      while (pos < query.size() &&
+             std::isdigit(static_cast<unsigned char>(query[pos]))) {
+        ++pos;
+      }
+      bool is_double = false;
+      if (pos < query.size() && query[pos] == '.' && pos + 1 < query.size() &&
+          std::isdigit(static_cast<unsigned char>(query[pos + 1]))) {
+        is_double = true;
+        ++pos;
+        while (pos < query.size() &&
+               std::isdigit(static_cast<unsigned char>(query[pos]))) {
+          ++pos;
+        }
+      }
+      if (pos < query.size() && (query[pos] == 'e' || query[pos] == 'E')) {
+        is_double = true;
+        ++pos;
+        if (pos < query.size() && (query[pos] == '+' || query[pos] == '-')) {
+          ++pos;
+        }
+        while (pos < query.size() &&
+               std::isdigit(static_cast<unsigned char>(query[pos]))) {
+          ++pos;
+        }
+      }
+      std::string text(query.substr(start, pos - start));
+      if (is_double) {
+        token.kind = TokenKind::kDouble;
+        token.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        errno = 0;
+        token.kind = TokenKind::kInteger;
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) return error("integer literal out of range");
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    auto single = [&](TokenKind kind) {
+      token.kind = kind;
+      ++pos;
+      tokens.push_back(token);
+    };
+    switch (c) {
+      case '(':
+        single(TokenKind::kLParen);
+        continue;
+      case ')':
+        single(TokenKind::kRParen);
+        continue;
+      case '{':
+        single(TokenKind::kLBrace);
+        continue;
+      case '}':
+        single(TokenKind::kRBrace);
+        continue;
+      case '[':
+        single(TokenKind::kLBracket);
+        continue;
+      case ']':
+        single(TokenKind::kRBracket);
+        continue;
+      case ',':
+        single(TokenKind::kComma);
+        continue;
+      case '+':
+        single(TokenKind::kPlus);
+        continue;
+      case '-':
+        single(TokenKind::kMinus);
+        continue;
+      case '*':
+        single(TokenKind::kStar);
+        continue;
+      case ':':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kBind;
+          pos += 2;
+          tokens.push_back(token);
+        } else {
+          single(TokenKind::kColon);
+        }
+        continue;
+      case '=':
+        single(TokenKind::kEq);
+        continue;
+      case '!':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kNe;
+          pos += 2;
+          tokens.push_back(token);
+          continue;
+        }
+        return error("unexpected '!'");
+      case '<':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kLe;
+          pos += 2;
+          tokens.push_back(token);
+        } else {
+          single(TokenKind::kLt);
+        }
+        continue;
+      case '>':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          token.kind = TokenKind::kGe;
+          pos += 2;
+          tokens.push_back(token);
+        } else {
+          single(TokenKind::kGt);
+        }
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = query.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace jpar

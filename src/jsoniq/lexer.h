@@ -1,0 +1,61 @@
+#ifndef JPAR_JSONIQ_LEXER_H_
+#define JPAR_JSONIQ_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace jpar {
+
+/// Token kinds of the JSONiq-extension-to-XQuery subset.
+enum class TokenKind : uint8_t {
+  kEnd,
+  kName,       // identifier or keyword (may contain '-': json-doc)
+  kVariable,   // $name
+  kString,     // "..."
+  kInteger,
+  kDouble,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kBind,       // :=
+  kPlus,
+  kMinus,
+  kStar,
+  kEq,         // =
+  kNe,         // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // name / variable name (no '$') / string value
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;    // for error messages
+
+  bool IsName(std::string_view name) const {
+    return kind == TokenKind::kName && text == name;
+  }
+};
+
+/// Tokenizes a whole query. Identifiers may contain interior hyphens
+/// when the next character is a letter ("year-from-dateTime"), which is
+/// how XQuery distinguishes them from subtraction; `a - b` needs spaces,
+/// as in the paper's queries.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace jpar
+
+#endif  // JPAR_JSONIQ_LEXER_H_

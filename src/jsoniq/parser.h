@@ -1,0 +1,34 @@
+#ifndef JPAR_JSONIQ_PARSER_H_
+#define JPAR_JSONIQ_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "jsoniq/ast.h"
+
+namespace jpar {
+
+/// Parses a JSONiq-extension query into an AST. Grammar subset:
+///
+///   Expr        := FLWOR | OrExpr
+///   FLWOR       := (ForClause | LetClause)+ WhereClause? GroupByClause?
+///                  'return' ExprSingle
+///   ForClause   := 'for' '$'name 'in' ExprSingle (',' '$'name 'in' ...)*
+///   LetClause   := 'let' '$'name ':=' ExprSingle (',' ...)*
+///   WhereClause := 'where' ExprSingle
+///   GroupBy     := 'group' 'by' '$'name ':=' ExprSingle (',' ...)*
+///   OrExpr      := AndExpr ('or' AndExpr)*
+///   AndExpr     := CmpExpr ('and' CmpExpr)*
+///   CmpExpr     := AddExpr (('eq'|'ne'|'lt'|'le'|'gt'|'ge'|'='|'!='|'<'|
+///                  '<='|'>'|'>=') AddExpr)?
+///   AddExpr     := MulExpr (('+'|'-') MulExpr)*
+///   MulExpr     := UnaryExpr (('*'|'div'|'mod') UnaryExpr)*
+///   UnaryExpr   := '-' UnaryExpr | PostfixExpr
+///   PostfixExpr := Primary ( '(' ')' | '(' ExprSingle ')' )*
+///   Primary     := literal | '$'name | name '(' args ')' | '(' Expr ')'
+///                | '[' elems ']' | '{' k ':' v , ... '}'
+Result<AstPtr> ParseQuery(std::string_view query);
+
+}  // namespace jpar
+
+#endif  // JPAR_JSONIQ_PARSER_H_

@@ -1,0 +1,24 @@
+#ifndef JPAR_JSONIQ_TRANSLATOR_H_
+#define JPAR_JSONIQ_TRANSLATOR_H_
+
+#include "algebra/logical_plan.h"
+#include "common/result.h"
+#include "jsoniq/ast.h"
+
+namespace jpar {
+
+/// Translates a JSONiq AST into the *naive* logical plan — deliberately
+/// the unoptimized shapes of the paper's Figures 3, 5, and 9:
+///   * collection paths become ASSIGN collection + UNNEST iterate,
+///   * keys-or-members becomes ASSIGN keys-or-members + UNNEST iterate
+///     (the two-step evaluation the path rules later fuse),
+///   * json-doc arguments are wrapped in promote(data(...)),
+///   * group by materializes per-group sequences via AGGREGATE sequence
+///     and re-exposes grouped variables through ASSIGN treat.
+/// The rewrite engine (algebra/rewriter.h) then performs exactly the
+/// transformations of the paper's §4.
+Result<LogicalPlan> TranslateToLogical(const AstPtr& query);
+
+}  // namespace jpar
+
+#endif  // JPAR_JSONIQ_TRANSLATOR_H_

@@ -1,0 +1,62 @@
+#ifndef JPAR_RUNTIME_AGGREGATES_H_
+#define JPAR_RUNTIME_AGGREGATES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "json/item.h"
+
+namespace jpar {
+
+/// Aggregation functions available to AGGREGATE and GROUP-BY operators.
+///
+/// kSequence materializes every input into a sequence item — the
+/// *pre-rewrite* group-by semantics (paper Fig. 9: AGGREGATE sequence).
+/// The incremental kinds are what the group-by rules substitute; the
+/// memory difference between the two modes is exactly what Fig. 15
+/// measures.
+enum class AggKind : uint8_t {
+  kSequence,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// Which step of Algebricks' two-step aggregation scheme an aggregator
+/// runs in. kComplete folds inputs to the final value. kLocal folds
+/// inputs to a *partial* item per partition; kGlobal merges partials
+/// (count partials merge by summing; avg partials are [sum, count]
+/// arrays merged component-wise).
+enum class AggStep : uint8_t {
+  kComplete,
+  kLocal,
+  kGlobal,
+};
+
+std::string_view AggKindToString(AggKind kind);
+
+/// Incremental aggregation state. Not thread-safe; one instance per
+/// group per partition.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual Status Step(const Item& item) = 0;
+  virtual Result<Item> Finish() = 0;
+  /// Bytes retained by the state (dominant for kSequence).
+  virtual size_t RetainedBytes() const = 0;
+};
+
+/// Creates an aggregator for (kind, step). kSequence supports only
+/// kComplete (it is never split across partitions — that is the point
+/// of the two-step rule).
+Result<std::unique_ptr<Aggregator>> MakeAggregator(AggKind kind,
+                                                   AggStep step);
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_AGGREGATES_H_

@@ -1,0 +1,127 @@
+#include "runtime/catalog.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "json/binary_serde.h"
+
+namespace jpar {
+
+Result<std::shared_ptr<const std::string>> JsonFile::Load() const {
+  if (binary_ != nullptr) {
+    return Status::Internal("Load() on a binary-item file");
+  }
+  if (text_ != nullptr) return text_;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path_);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("error reading file: " + path_);
+  return std::make_shared<const std::string>(buf.str());
+}
+
+Result<uint64_t> JsonFile::SizeBytes() const {
+  if (binary_ != nullptr) return static_cast<uint64_t>(binary_->size());
+  if (text_ != nullptr) return static_cast<uint64_t>(text_->size());
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot stat file: " + path_);
+  return static_cast<uint64_t>(in.tellg());
+}
+
+Result<uint64_t> Collection::TotalBytes() const {
+  uint64_t total = 0;
+  for (const JsonFile& f : files) {
+    JPAR_ASSIGN_OR_RETURN(uint64_t sz, f.SizeBytes());
+    total += sz;
+  }
+  return total;
+}
+
+std::string Catalog::NormalizeName(std::string_view name) {
+  size_t start = 0;
+  while (start < name.size() && name[start] == '/') ++start;
+  size_t end = name.size();
+  while (end > start && name[end - 1] == '/') --end;
+  return std::string(name.substr(start, end - start));
+}
+
+void Catalog::RegisterCollection(std::string_view name,
+                                 Collection collection) {
+  collections_[NormalizeName(name)] = std::move(collection);
+}
+
+void Catalog::RegisterDocument(std::string_view name, JsonFile file) {
+  documents_.insert_or_assign(NormalizeName(name), std::move(file));
+}
+
+Result<const Collection*> Catalog::GetCollection(
+    std::string_view name) const {
+  auto it = collections_.find(NormalizeName(name));
+  if (it == collections_.end()) {
+    return Status::NotFound("unknown collection: " + std::string(name));
+  }
+  return &it->second;
+}
+
+Result<const JsonFile*> Catalog::GetDocument(std::string_view name) const {
+  auto it = documents_.find(NormalizeName(name));
+  if (it == documents_.end()) {
+    return Status::NotFound("unknown document: " + std::string(name));
+  }
+  return &it->second;
+}
+
+Status Catalog::BuildPathIndex(std::string_view collection,
+                               const std::vector<PathStep>& path) {
+  JPAR_ASSIGN_OR_RETURN(const Collection* coll, GetCollection(collection));
+  PathIndex index;
+  for (size_t f = 0; f < coll->files.size(); ++f) {
+    std::set<std::string> values_in_file;
+    auto record = [&](const Item& item) -> Status {
+      if (item.is_atomic() && !item.is_sequence()) {
+        std::string key;
+        item.AppendGroupKeyTo(&key);
+        values_in_file.insert(std::move(key));
+      }
+      return Status::OK();
+    };
+    const JsonFile& file = coll->files[f];
+    if (file.is_binary()) {
+      // Pre-loaded documents: navigate the materialized item.
+      JPAR_ASSIGN_OR_RETURN(Item doc, DeserializeItem(*file.binary()));
+      JPAR_RETURN_NOT_OK(NavigateItemPath(doc, path, 0, record));
+    } else {
+      JPAR_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> text,
+                            file.Load());
+      JPAR_RETURN_NOT_OK(ProjectJsonStream(*text, path, record));
+    }
+    for (const std::string& value : values_in_file) {
+      index.value_to_files[value].push_back(static_cast<int>(f));
+    }
+  }
+  path_indexes_[{NormalizeName(collection), PathToString(path)}] =
+      std::move(index);
+  return Status::OK();
+}
+
+bool Catalog::HasPathIndex(std::string_view collection,
+                           const std::vector<PathStep>& path) const {
+  return path_indexes_.count(
+             {NormalizeName(collection), PathToString(path)}) > 0;
+}
+
+const std::vector<int>* Catalog::LookupPathIndex(
+    std::string_view collection, const std::vector<PathStep>& path,
+    const Item& value) const {
+  auto it = path_indexes_.find(
+      {NormalizeName(collection), PathToString(path)});
+  if (it == path_indexes_.end()) return nullptr;
+  std::string key;
+  value.AppendGroupKeyTo(&key);
+  auto vit = it->second.value_to_files.find(key);
+  if (vit == it->second.value_to_files.end()) return &it->second.empty;
+  return &vit->second;
+}
+
+}  // namespace jpar

@@ -1,0 +1,742 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "json/binary_serde.h"
+#include "json/parser.h"
+#include "runtime/frame.h"
+
+namespace jpar {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string IndentStr(int n) { return std::string(static_cast<size_t>(n), ' '); }
+
+/// Encodes the grouping/join key of a tuple under `key_evals`.
+Status EncodeKey(const std::vector<ScalarEvalPtr>& key_evals,
+                 const Tuple& tuple, EvalContext* ctx, std::string* encoded,
+                 Tuple* key_items) {
+  encoded->clear();
+  if (key_items != nullptr) key_items->clear();
+  for (const ScalarEvalPtr& eval : key_evals) {
+    JPAR_ASSIGN_OR_RETURN(Item k, eval->Eval(tuple, ctx));
+    k.AppendGroupKeyTo(encoded);
+    encoded->push_back('\0');
+    if (key_items != nullptr) key_items->push_back(std::move(k));
+  }
+  return Status::OK();
+}
+
+struct GroupState {
+  Tuple key_items;
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+};
+
+}  // namespace
+
+std::string PNode::ToString(int indent) const {
+  std::string out;
+  switch (kind) {
+    case Kind::kPipeline: {
+      for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+        out += IndentStr(indent) + it->ToString() + "\n";
+      }
+      if (input != nullptr) {
+        out += input->ToString(indent);
+      } else {
+        out += IndentStr(indent) + scan.ToString() + "\n";
+      }
+      return out;
+    }
+    case Kind::kGroupBy: {
+      out += IndentStr(indent) + std::string("GROUP-BY");
+      out += two_step ? " [two-step] {" : " {";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out += (i ? ", " : "keys: ") + keys[i]->ToString();
+      }
+      out += "; aggs: ";
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i) out += ", ";
+        out += aggs[i].ToString();
+      }
+      out += "}\n";
+      out += input->ToString(indent + 2);
+      return out;
+    }
+    case Kind::kSort: {
+      out += IndentStr(indent) + "SORT [";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i) out += ", ";
+        out += sort_keys[i]->ToString();
+        if (i < sort_descending.size() && sort_descending[i]) {
+          out += " desc";
+        }
+      }
+      out += "]\n";
+      out += input->ToString(indent + 2);
+      return out;
+    }
+    case Kind::kJoin: {
+      out += IndentStr(indent) + "JOIN [";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i) out += " and ";
+        out += left_keys[i]->ToString() + " == " + right_keys[i]->ToString();
+      }
+      out += "]\n";
+      out += left->ToString(indent + 2);
+      out += right->ToString(indent + 2);
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out = "DISTRIBUTE-RESULT $col" +
+                    std::to_string(result_column) + "\n";
+  if (root != nullptr) out += root->ToString(2);
+  return out;
+}
+
+Result<Executor::PartitionSet> Executor::Exec(const PNode& node,
+                                              ExecStats* stats) const {
+  switch (node.kind) {
+    case PNode::Kind::kPipeline:
+      return ExecPipeline(node, stats);
+    case PNode::Kind::kGroupBy:
+      return ExecGroupBy(node, stats);
+    case PNode::Kind::kJoin:
+      return ExecJoin(node, stats);
+    case PNode::Kind::kSort:
+      return ExecSort(node, stats);
+  }
+  return Status::Internal("unknown physical node kind");
+}
+
+Result<Executor::PartitionSet> Executor::ExecPipeline(
+    const PNode& node, ExecStats* stats) const {
+  // Resolve input partitions.
+  PartitionSet input;
+  bool leaf = node.input == nullptr;
+  if (!leaf) {
+    JPAR_ASSIGN_OR_RETURN(input, Exec(*node.input, stats));
+  }
+
+  // Determine partition task count.
+  int pcount;
+  const Collection* coll = nullptr;
+  // With an index-assisted scan, only this subset of file ids is read
+  // (null = all files).
+  const std::vector<int>* file_filter = nullptr;
+  if (leaf) {
+    if (node.scan.kind == ScanDesc::Kind::kDataScan) {
+      JPAR_ASSIGN_OR_RETURN(coll, catalog_->GetCollection(node.scan.collection));
+      if (node.scan.use_index) {
+        file_filter = catalog_->LookupPathIndex(
+            node.scan.collection, node.scan.index_path,
+            node.scan.index_value);
+        // A missing index (e.g. dropped after compilation) degrades to
+        // a full scan rather than failing the query.
+      }
+      size_t scannable =
+          file_filter != nullptr ? file_filter->size() : coll->files.size();
+      pcount = options_.partitions;
+      if (pcount > static_cast<int>(scannable) && scannable > 0) {
+        // No point in more scan partitions than files.
+        pcount = static_cast<int>(scannable);
+      }
+      if (pcount < 1) pcount = 1;
+    } else {
+      // EMPTY-TUPLE-SOURCE runs on a single partition (the paper's
+      // pre-DATASCAN plans are serial until an exchange).
+      pcount = 1;
+    }
+  } else {
+    pcount = static_cast<int>(input.parts.size());
+  }
+
+  MemoryTracker memory(options_.memory_limit_bytes);
+  StageStats stage;
+  stage.name = leaf ? node.scan.ToString() : "pipeline";
+  stage.partition_ms.assign(static_cast<size_t>(pcount), 0.0);
+
+  PartitionSet output;
+  output.parts.assign(static_cast<size_t>(pcount), {});
+  std::vector<Status> task_status(static_cast<size_t>(pcount));
+  std::vector<uint64_t> task_bytes(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_items(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_boundary_bytes(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_max_tuple(static_cast<size_t>(pcount), 0);
+
+  auto run_task = [&](int p) {
+    auto start = Clock::now();
+    EvalContext ctx;
+    ctx.catalog = catalog_;
+    ctx.memory = &memory;
+    std::vector<Tuple>& out = output.parts[static_cast<size_t>(p)];
+    TupleSink sink = [&out](Tuple t) -> Status {
+      out.push_back(std::move(t));
+      return Status::OK();
+    };
+    Status st;
+    if (leaf && node.scan.kind == ScanDesc::Kind::kDataScan) {
+      // Files (or the index-pruned subset) are assigned to partitions
+      // round-robin.
+      size_t file_count =
+          file_filter != nullptr ? file_filter->size() : coll->files.size();
+      for (size_t i = static_cast<size_t>(p); i < file_count;
+           i += static_cast<size_t>(pcount)) {
+        const JsonFile& file =
+            file_filter != nullptr
+                ? coll->files[static_cast<size_t>((*file_filter)[i])]
+                : coll->files[i];
+        if (file.is_binary()) {
+          // Pre-loaded internal-model document: deserialize, then
+          // navigate the path steps in memory (no JSON parsing).
+          task_bytes[static_cast<size_t>(p)] += file.binary()->size();
+          auto doc = DeserializeItem(*file.binary());
+          if (!doc.ok()) {
+            st = doc.status();
+            break;
+          }
+          st = NavigateItemPath(*doc, node.scan.steps, 0,
+                                [&](Item item) -> Status {
+                                  ++task_items[static_cast<size_t>(p)];
+                                  return RunChain(node.ops, 0,
+                                                  Tuple{std::move(item)},
+                                                  &ctx, sink);
+                                });
+          if (!st.ok()) break;
+          continue;
+        }
+        auto text_result = file.Load();
+        if (!text_result.ok()) {
+          st = text_result.status();
+          break;
+        }
+        std::shared_ptr<const std::string> text = *text_result;
+        task_bytes[static_cast<size_t>(p)] += text->size();
+        // Collection files are document streams: one document or many
+        // (NDJSON / concatenated JSON).
+        st = ProjectJsonStream(
+            *text, node.scan.steps, [&](Item item) -> Status {
+              ++task_items[static_cast<size_t>(p)];
+              return RunChain(node.ops, 0, Tuple{std::move(item)}, &ctx,
+                              sink);
+            });
+        if (!st.ok()) break;
+      }
+    } else if (leaf) {
+      st = RunChain(node.ops, 0, Tuple{}, &ctx, sink);
+    } else {
+      for (Tuple& t : input.parts[static_cast<size_t>(p)]) {
+        st = RunChain(node.ops, 0, std::move(t), &ctx, sink);
+        if (!st.ok()) break;
+      }
+      input.parts[static_cast<size_t>(p)].clear();
+    }
+    task_status[static_cast<size_t>(p)] = st;
+    task_bytes[static_cast<size_t>(p)] += ctx.bytes_parsed;
+    task_boundary_bytes[static_cast<size_t>(p)] = ctx.boundary_bytes;
+    task_max_tuple[static_cast<size_t>(p)] = ctx.max_tuple_bytes;
+    stage.partition_ms[static_cast<size_t>(p)] = ElapsedMs(start);
+  };
+
+  if (options_.use_threads && pcount > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(pcount));
+    for (int p = 0; p < pcount; ++p) threads.emplace_back(run_task, p);
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (int p = 0; p < pcount; ++p) run_task(p);
+  }
+
+  for (int p = 0; p < pcount; ++p) {
+    JPAR_RETURN_NOT_OK(task_status[static_cast<size_t>(p)]);
+    stats->bytes_scanned += task_bytes[static_cast<size_t>(p)];
+    stats->items_scanned += task_items[static_cast<size_t>(p)];
+    stage.pipeline_bytes += task_boundary_bytes[static_cast<size_t>(p)];
+    if (task_max_tuple[static_cast<size_t>(p)] > stage.max_tuple_bytes) {
+      stage.max_tuple_bytes = task_max_tuple[static_cast<size_t>(p)];
+    }
+  }
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  stats->Merge(stage);
+  return output;
+}
+
+Result<Executor::PartitionSet> Executor::Exchange(
+    const PartitionSet& input, const std::vector<ScalarEvalPtr>& key_evals,
+    StageStats* stage, ExecStats* stats) const {
+  int pcount = options_.partitions;
+  if (pcount < 1) pcount = 1;
+  auto start = Clock::now();
+
+  EvalContext ctx;
+  ctx.catalog = catalog_;
+
+  // Serialize into per-(source, destination) frame streams.
+  std::vector<std::vector<FrameBuilder>> builders;
+  builders.reserve(input.parts.size());
+  for (size_t src = 0; src < input.parts.size(); ++src) {
+    builders.emplace_back();
+    for (int dst = 0; dst < pcount; ++dst) {
+      builders[src].emplace_back(options_.frame_bytes);
+    }
+  }
+
+  // Sender side: each source partition encodes and routes its tuples
+  // (parallel tasks in a real cluster; timed per source here).
+  std::hash<std::string> hasher;
+  std::string encoded;
+  std::vector<double> src_ms(input.parts.size(), 0.0);
+  for (size_t src = 0; src < input.parts.size(); ++src) {
+    auto src_start = Clock::now();
+    for (const Tuple& tuple : input.parts[src]) {
+      JPAR_RETURN_NOT_OK(
+          EncodeKey(key_evals, tuple, &ctx, &encoded, nullptr));
+      size_t dst = hasher(encoded) % static_cast<size_t>(pcount);
+      builders[src][dst].Append(tuple);
+    }
+    src_ms[src] = ElapsedMs(src_start);
+  }
+
+  // Route frames, tallying bytes and modeled network time for frames
+  // that cross node boundaries; receiver side decodes per destination.
+  PartitionSet output;
+  output.parts.assign(static_cast<size_t>(pcount), {});
+  uint64_t cross_bytes = 0;
+  uint64_t critical_stream_frames = 0;  // frames on the slowest stream
+  std::vector<double> dst_ms(static_cast<size_t>(pcount), 0.0);
+  for (size_t src = 0; src < builders.size(); ++src) {
+    for (int dst = 0; dst < pcount; ++dst) {
+      FrameBuilder& b = builders[src][static_cast<size_t>(dst)];
+      stage->exchange_bytes += b.total_bytes();
+      stage->exchange_tuples += b.tuple_count();
+      stage->oversized_frames += b.oversized_frames();
+      if (b.max_tuple_bytes() > stage->max_tuple_bytes) {
+        stage->max_tuple_bytes = b.max_tuple_bytes();
+      }
+      std::vector<Frame> frames = b.Finish();
+      stage->exchange_frames += frames.size();
+      if (NodeOfPartition(static_cast<int>(src)) != NodeOfPartition(dst)) {
+        for (const Frame& f : frames) cross_bytes += f.bytes.size();
+        if (frames.size() > critical_stream_frames) {
+          critical_stream_frames = frames.size();
+        }
+      }
+      auto dst_start = Clock::now();
+      FrameReader reader(frames);
+      Tuple t;
+      while (true) {
+        JPAR_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+        if (!more) break;
+        output.parts[static_cast<size_t>(dst)].push_back(std::move(t));
+        t = Tuple();
+      }
+      dst_ms[static_cast<size_t>(dst)] += ElapsedMs(dst_start);
+    }
+  }
+  stage->exchange_task_ms.push_back(std::move(src_ms));
+  stage->exchange_task_ms.push_back(std::move(dst_ms));
+
+  stage->exchange_ms += ElapsedMs(start);
+  // All point-to-point streams transfer concurrently: bandwidth is
+  // charged on the total cross-node volume, latency only on the
+  // longest single stream.
+  double gbps = options_.network_gbps > 0 ? options_.network_gbps : 1.0;
+  double net_ms = static_cast<double>(cross_bytes) * 8.0 / (gbps * 1e6) +
+                  static_cast<double>(critical_stream_frames) *
+                      options_.network_latency_ms_per_frame;
+  stage->network_ms += net_ms;
+  stats->network_ms += net_ms;
+  return output;
+}
+
+Result<Executor::PartitionSet> Executor::ExecGroupBy(
+    const PNode& node, ExecStats* stats) const {
+  JPAR_ASSIGN_OR_RETURN(PartitionSet input, Exec(*node.input, stats));
+
+  MemoryTracker memory(options_.memory_limit_bytes);
+  size_t nkeys = node.keys.size();
+
+  bool can_two_step = node.two_step;
+  for (const AggSpec& a : node.aggs) {
+    if (a.kind == AggKind::kSequence) can_two_step = false;
+  }
+
+  // ---- Optional local pre-aggregation stage -------------------------
+  if (can_two_step) {
+    StageStats local_stage;
+    local_stage.name = "group-by (local)";
+    local_stage.partition_ms.assign(input.parts.size(), 0.0);
+    PartitionSet partials;
+    partials.parts.assign(input.parts.size(), {});
+    for (size_t p = 0; p < input.parts.size(); ++p) {
+      auto start = Clock::now();
+      EvalContext ctx;
+      ctx.catalog = catalog_;
+      ctx.memory = &memory;
+      std::unordered_map<std::string, GroupState> table;
+      std::string encoded;
+      Tuple key_items;
+      for (const Tuple& tuple : input.parts[p]) {
+        JPAR_RETURN_NOT_OK(
+            EncodeKey(node.keys, tuple, &ctx, &encoded, &key_items));
+        auto [it, inserted] = table.try_emplace(encoded);
+        if (inserted) {
+          it->second.key_items = key_items;
+          JPAR_RETURN_NOT_OK(memory.Allocate(encoded.size() + 64));
+          for (const AggSpec& spec : node.aggs) {
+            JPAR_ASSIGN_OR_RETURN(
+                std::unique_ptr<Aggregator> agg,
+                MakeAggregator(spec.kind, AggStep::kLocal));
+            it->second.aggs.push_back(std::move(agg));
+          }
+        }
+        for (size_t i = 0; i < node.aggs.size(); ++i) {
+          JPAR_ASSIGN_OR_RETURN(Item v, node.aggs[i].arg->Eval(tuple, &ctx));
+          JPAR_RETURN_NOT_OK(it->second.aggs[i]->Step(v));
+        }
+      }
+      input.parts[p].clear();
+      for (auto& [key, state] : table) {
+        Tuple t = state.key_items;
+        for (std::unique_ptr<Aggregator>& agg : state.aggs) {
+          JPAR_ASSIGN_OR_RETURN(Item v, agg->Finish());
+          t.push_back(std::move(v));
+        }
+        partials.parts[p].push_back(std::move(t));
+      }
+      memory.Release(memory.current_bytes());
+      local_stage.partition_ms[p] = ElapsedMs(start);
+    }
+    stats->Merge(local_stage);
+    input = std::move(partials);
+  }
+
+  // ---- Exchange by key ----------------------------------------------
+  StageStats global_stage;
+  global_stage.name =
+      can_two_step ? "group-by (global merge)" : "group-by (hash)";
+  // After local pre-aggregation the key occupies columns [0, nkeys).
+  std::vector<ScalarEvalPtr> exchange_keys;
+  if (can_two_step) {
+    for (size_t i = 0; i < nkeys; ++i) {
+      exchange_keys.push_back(MakeColumnEval(static_cast<int>(i)));
+    }
+  } else {
+    exchange_keys = node.keys;
+  }
+  JPAR_ASSIGN_OR_RETURN(
+      PartitionSet exchanged,
+      Exchange(input, exchange_keys, &global_stage, stats));
+  input.parts.clear();
+
+  // ---- Global aggregation --------------------------------------------
+  global_stage.partition_ms.assign(exchanged.parts.size(), 0.0);
+  PartitionSet output;
+  output.parts.assign(exchanged.parts.size(), {});
+  for (size_t p = 0; p < exchanged.parts.size(); ++p) {
+    auto start = Clock::now();
+    EvalContext ctx;
+    ctx.catalog = catalog_;
+    ctx.memory = &memory;
+    std::unordered_map<std::string, GroupState> table;
+    std::string encoded;
+    Tuple key_items;
+    AggStep step = can_two_step ? AggStep::kGlobal : AggStep::kComplete;
+    for (const Tuple& tuple : exchanged.parts[p]) {
+      JPAR_RETURN_NOT_OK(
+          EncodeKey(exchange_keys, tuple, &ctx, &encoded, &key_items));
+      auto [it, inserted] = table.try_emplace(encoded);
+      if (inserted) {
+        it->second.key_items = key_items;
+        JPAR_RETURN_NOT_OK(memory.Allocate(encoded.size() + 64));
+        for (const AggSpec& spec : node.aggs) {
+          JPAR_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                                MakeAggregator(spec.kind, step));
+          it->second.aggs.push_back(std::move(agg));
+        }
+      }
+      for (size_t i = 0; i < node.aggs.size(); ++i) {
+        Item v;
+        if (can_two_step) {
+          // Partial for agg i sits right after the key columns.
+          v = tuple[nkeys + i];
+        } else {
+          JPAR_ASSIGN_OR_RETURN(v, node.aggs[i].arg->Eval(tuple, &ctx));
+        }
+        size_t before = it->second.aggs[i]->RetainedBytes();
+        JPAR_RETURN_NOT_OK(it->second.aggs[i]->Step(v));
+        size_t after = it->second.aggs[i]->RetainedBytes();
+        if (after > before) {
+          JPAR_RETURN_NOT_OK(memory.Allocate(after - before));
+        }
+      }
+    }
+    exchanged.parts[p].clear();
+    for (auto& [key, state] : table) {
+      Tuple t = std::move(state.key_items);
+      for (std::unique_ptr<Aggregator>& agg : state.aggs) {
+        JPAR_ASSIGN_OR_RETURN(Item v, agg->Finish());
+        t.push_back(std::move(v));
+      }
+      output.parts[p].push_back(std::move(t));
+    }
+    global_stage.partition_ms[p] = ElapsedMs(start);
+  }
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  stats->Merge(global_stage);
+  return output;
+}
+
+Result<Executor::PartitionSet> Executor::ExecJoin(const PNode& node,
+                                                  ExecStats* stats) const {
+  JPAR_ASSIGN_OR_RETURN(PartitionSet left, Exec(*node.left, stats));
+  JPAR_ASSIGN_OR_RETURN(PartitionSet right, Exec(*node.right, stats));
+
+  StageStats stage;
+  stage.name = "hash-join";
+  JPAR_ASSIGN_OR_RETURN(PartitionSet left_ex,
+                        Exchange(left, node.left_keys, &stage, stats));
+  left.parts.clear();
+  JPAR_ASSIGN_OR_RETURN(PartitionSet right_ex,
+                        Exchange(right, node.right_keys, &stage, stats));
+  right.parts.clear();
+
+  MemoryTracker memory(options_.memory_limit_bytes);
+  size_t nkeys = node.left_keys.size();
+  // Keys were evaluated against pre-exchange column positions; the
+  // exchanged tuples preserve layout, so re-evaluate the same evals.
+  stage.partition_ms.assign(left_ex.parts.size(), 0.0);
+  PartitionSet output;
+  output.parts.assign(left_ex.parts.size(), {});
+  for (size_t p = 0; p < left_ex.parts.size(); ++p) {
+    auto start = Clock::now();
+    EvalContext ctx;
+    ctx.catalog = catalog_;
+    ctx.memory = &memory;
+    // Build on the right side.
+    std::unordered_map<std::string, std::vector<size_t>> table;
+    std::string encoded;
+    const std::vector<Tuple>& build = right_ex.parts[p];
+    for (size_t i = 0; i < build.size(); ++i) {
+      JPAR_RETURN_NOT_OK(
+          EncodeKey(node.right_keys, build[i], &ctx, &encoded, nullptr));
+      table[encoded].push_back(i);
+      JPAR_RETURN_NOT_OK(
+          memory.Allocate(TupleSizeBytes(build[i]) + encoded.size()));
+    }
+    (void)nkeys;
+    // Probe with the left side.
+    for (const Tuple& probe : left_ex.parts[p]) {
+      JPAR_RETURN_NOT_OK(
+          EncodeKey(node.left_keys, probe, &ctx, &encoded, nullptr));
+      auto it = table.find(encoded);
+      if (it == table.end()) continue;
+      for (size_t i : it->second) {
+        Tuple joined = probe;
+        joined.insert(joined.end(), build[i].begin(), build[i].end());
+        if (node.residual != nullptr) {
+          JPAR_ASSIGN_OR_RETURN(Item cond, node.residual->Eval(joined, &ctx));
+          JPAR_ASSIGN_OR_RETURN(bool keep, cond.EffectiveBooleanValue());
+          if (!keep) continue;
+        }
+        output.parts[p].push_back(std::move(joined));
+      }
+    }
+    memory.Release(memory.current_bytes());
+    stage.partition_ms[p] = ElapsedMs(start);
+  }
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  stats->Merge(stage);
+  return output;
+}
+
+Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
+                                                  ExecStats* stats) const {
+  JPAR_ASSIGN_OR_RETURN(PartitionSet input, Exec(*node.input, stats));
+
+  StageStats stage;
+  stage.name = "sort";
+  stage.partition_ms.assign(input.parts.size(), 0.0);
+
+  EvalContext ctx;
+  ctx.catalog = catalog_;
+
+  // Local phase: evaluate keys and sort each partition.
+  struct Keyed {
+    Tuple keys;
+    Tuple row;
+  };
+  // Validated kind class per key column ('n'umeric, or the ItemKind).
+  auto kind_class = [](const Item& item) -> int {
+    if (item.is_numeric()) return -1;
+    return static_cast<int>(item.kind());
+  };
+  std::vector<int> key_classes(node.sort_keys.size(), INT_MIN);
+  std::vector<std::vector<Keyed>> sorted(input.parts.size());
+  for (size_t p = 0; p < input.parts.size(); ++p) {
+    auto start = Clock::now();
+    std::vector<Keyed>& rows = sorted[p];
+    rows.reserve(input.parts[p].size());
+    for (Tuple& t : input.parts[p]) {
+      Keyed k;
+      for (const ScalarEvalPtr& key : node.sort_keys) {
+        JPAR_ASSIGN_OR_RETURN(Item v, key->Eval(t, &ctx));
+        k.keys.push_back(std::move(v));
+      }
+      // Validate comparability up front so the sort comparator cannot
+      // fail (empty sequences sort first and skip validation).
+      for (size_t i = 0; i < k.keys.size(); ++i) {
+        if (k.keys[i].SequenceLength() == 0) continue;
+        int cls = kind_class(k.keys[i]);
+        if (key_classes[i] == INT_MIN) {
+          key_classes[i] = cls;
+        } else if (key_classes[i] != cls) {
+          return Status::TypeError(
+              "order by key mixes incomparable types");
+        }
+      }
+      k.row = std::move(t);
+      rows.push_back(std::move(k));
+    }
+    input.parts[p].clear();
+    auto compare = [&](const Keyed& a, const Keyed& b) {
+      for (size_t i = 0; i < a.keys.size(); ++i) {
+        bool ea = a.keys[i].SequenceLength() == 0;
+        bool eb = b.keys[i].SequenceLength() == 0;
+        int c;
+        if (ea || eb) {
+          c = static_cast<int>(eb) - static_cast<int>(ea);  // empty first
+        } else {
+          c = a.keys[i].Compare(b.keys[i]).ValueOrDie();
+        }
+        if (i < node.sort_descending.size() && node.sort_descending[i]) {
+          c = -c;
+        }
+        if (c != 0) return c < 0;
+      }
+      return false;
+    };
+    std::stable_sort(rows.begin(), rows.end(), compare);
+    stage.partition_ms[p] = ElapsedMs(start);
+  }
+
+  // Merge phase (the gather exchange): k-way merge into one partition.
+  auto merge_start = Clock::now();
+  PartitionSet output;
+  output.parts.assign(1, {});
+  std::vector<size_t> cursor(sorted.size(), 0);
+  auto less_keyed = [&](const Keyed& a, const Keyed& b) -> bool {
+    for (size_t i = 0; i < a.keys.size(); ++i) {
+      bool ea = a.keys[i].SequenceLength() == 0;
+      bool eb = b.keys[i].SequenceLength() == 0;
+      int c;
+      if (ea || eb) {
+        c = static_cast<int>(eb) - static_cast<int>(ea);
+      } else {
+        c = a.keys[i].Compare(b.keys[i]).ValueOrDie();
+      }
+      if (i < node.sort_descending.size() && node.sort_descending[i]) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  while (true) {
+    int best = -1;
+    for (size_t p = 0; p < sorted.size(); ++p) {
+      if (cursor[p] >= sorted[p].size()) continue;
+      if (best < 0 ||
+          less_keyed(sorted[p][cursor[p]],
+                     sorted[static_cast<size_t>(best)]
+                           [cursor[static_cast<size_t>(best)]])) {
+        best = static_cast<int>(p);
+      }
+    }
+    if (best < 0) break;
+    output.parts[0].push_back(
+        std::move(sorted[static_cast<size_t>(best)]
+                        [cursor[static_cast<size_t>(best)]]
+                            .row));
+    ++cursor[static_cast<size_t>(best)];
+  }
+  stage.exchange_ms += ElapsedMs(merge_start);
+  stats->Merge(stage);
+  return output;
+}
+
+Result<QueryOutput> Executor::Run(const PhysicalPlan& plan) const {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("physical plan has no root");
+  }
+  auto start = Clock::now();
+  QueryOutput out;
+  JPAR_ASSIGN_OR_RETURN(PartitionSet result, Exec(*plan.root, &out.stats));
+  for (const std::vector<Tuple>& part : result.parts) {
+    for (const Tuple& tuple : part) {
+      if (plan.result_column < 0 ||
+          static_cast<size_t>(plan.result_column) >= tuple.size()) {
+        return Status::Internal("result column out of range");
+      }
+      out.items.push_back(tuple[static_cast<size_t>(plan.result_column)]);
+    }
+  }
+  out.stats.result_rows = out.items.size();
+  out.stats.real_ms = ElapsedMs(start);
+  int nodes = (options_.partitions + options_.partitions_per_node - 1) /
+              (options_.partitions_per_node > 0 ? options_.partitions_per_node
+                                                : 1);
+  if (nodes < 1) nodes = 1;
+  int cores = nodes * (options_.cores_per_node > 0 ? options_.cores_per_node
+                                                   : 1);
+  double makespan = 0;
+  for (const StageStats& s : out.stats.stages) {
+    makespan += LptMakespanMs(s.partition_ms, cores) + s.network_ms;
+    for (const std::vector<double>& phase : s.exchange_task_ms) {
+      makespan += LptMakespanMs(phase, cores);
+    }
+  }
+  out.stats.makespan_ms = makespan;
+  return out;
+}
+
+double LptMakespanMs(const std::vector<double>& task_ms, int cores) {
+  if (cores < 1) cores = 1;
+  std::vector<double> sorted = task_ms;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  std::vector<double> bins(static_cast<size_t>(cores), 0.0);
+  for (double t : sorted) {
+    // Assign to the least-loaded core.
+    size_t best = 0;
+    for (size_t b = 1; b < bins.size(); ++b) {
+      if (bins[b] < bins[best]) best = b;
+    }
+    bins[best] += t;
+  }
+  double max_bin = 0;
+  for (double b : bins) max_bin = b > max_bin ? b : max_bin;
+  return max_bin;
+}
+
+}  // namespace jpar

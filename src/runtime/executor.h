@@ -1,0 +1,153 @@
+#ifndef JPAR_RUNTIME_EXECUTOR_H_
+#define JPAR_RUNTIME_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/catalog.h"
+#include "runtime/memory.h"
+#include "runtime/operators.h"
+#include "runtime/stats.h"
+#include "runtime/tuple.h"
+
+namespace jpar {
+
+struct PNode;
+using PNodePtr = std::shared_ptr<const PNode>;
+
+/// Longest-processing-time list scheduling of `task_ms` onto `cores`
+/// identical cores; returns the busiest core's total. Exposed for the
+/// cluster-model tests.
+double LptMakespanMs(const std::vector<double>& task_ms, int cores);
+
+/// A node of the physical plan. One struct with kind-dependent fields
+/// (plans are descriptors produced by the physical translator, not a
+/// behavior hierarchy — execution logic lives in the Executor).
+struct PNode {
+  enum class Kind : uint8_t {
+    /// A streaming pipeline: a scan source (when `input` is null) or the
+    /// partitions of `input`, run through `ops`.
+    kPipeline,
+    /// Hash group-by over `input` (keys ++ aggregates out).
+    kGroupBy,
+    /// Hash equi-join of `left` and `right` (left ++ right columns out).
+    kJoin,
+    /// Global sort of `input` by `sort_keys` (parallel local sorts,
+    /// then a merge to one partition).
+    kSort,
+  };
+
+  Kind kind = Kind::kPipeline;
+
+  // kPipeline
+  ScanDesc scan;  // used when input == nullptr
+  PNodePtr input;
+  std::vector<UnaryOpDesc> ops;
+
+  // kGroupBy
+  std::vector<ScalarEvalPtr> keys;
+  std::vector<AggSpec> aggs;
+  /// Algebricks two-step aggregation: local pre-aggregation per input
+  /// partition, hash exchange of partials, global merge. Requires all
+  /// aggs incremental (never kSequence).
+  bool two_step = false;
+
+  // kJoin
+  PNodePtr left;
+  PNodePtr right;
+  std::vector<ScalarEvalPtr> left_keys;
+  std::vector<ScalarEvalPtr> right_keys;
+  ScalarEvalPtr residual;  // optional extra predicate on joined tuples
+
+  // kSort
+  std::vector<ScalarEvalPtr> sort_keys;
+  std::vector<uint8_t> sort_descending;  // parallel to sort_keys
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// A complete physical plan: the root node plus which output column the
+/// DISTRIBUTE-RESULT operator ships to the client.
+struct PhysicalPlan {
+  PNodePtr root;
+  int result_column = 0;
+
+  std::string ToString() const;
+};
+
+struct ExecOptions {
+  /// Total data parallelism (scan partitions and exchange fan-out) —
+  /// nodes x partitions-per-node in the paper's terms.
+  int partitions = 1;
+  /// Used only to model which partitions share a node (cross-node
+  /// exchange traffic incurs simulated network time).
+  int partitions_per_node = 4;
+  /// Physical cores per node for the makespan model. When a stage has
+  /// more partition tasks than cores, tasks are LPT-scheduled onto
+  /// cores and the stage's simulated time is the busiest core — which
+  /// reproduces the paper's observation that 8 hyper-threaded
+  /// partitions on 4 cores do not beat 4 partitions (Fig. 17).
+  int cores_per_node = 4;
+  /// Target Hyracks frame size for exchanges.
+  size_t frame_bytes = 32 * 1024;
+  /// 0 = unlimited. Exceeding it fails the query (ResourceExhausted).
+  uint64_t memory_limit_bytes = 0;
+  /// Run partition tasks on real threads. Off by default: the
+  /// reproduction host is single-core, and sequential execution gives
+  /// deterministic per-partition timings for the makespan model.
+  bool use_threads = false;
+  /// Simulated interconnect for cross-node exchange bytes.
+  double network_gbps = 1.0;
+  double network_latency_ms_per_frame = 0.05;
+};
+
+/// Result rows plus the execution statistics the benchmarks plot.
+struct QueryOutput {
+  /// The DISTRIBUTE-RESULT column of every output tuple, in partition
+  /// order.
+  std::vector<Item> items;
+  ExecStats stats;
+};
+
+/// Executes physical plans against a catalog. Stateless between runs;
+/// safe to reuse.
+class Executor {
+ public:
+  Executor(const Catalog* catalog, ExecOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  Result<QueryOutput> Run(const PhysicalPlan& plan) const;
+
+ private:
+  struct PartitionSet {
+    std::vector<std::vector<Tuple>> parts;
+  };
+
+  Result<PartitionSet> Exec(const PNode& node, ExecStats* stats) const;
+  Result<PartitionSet> ExecPipeline(const PNode& node, ExecStats* stats) const;
+  Result<PartitionSet> ExecGroupBy(const PNode& node, ExecStats* stats) const;
+  Result<PartitionSet> ExecJoin(const PNode& node, ExecStats* stats) const;
+  Result<PartitionSet> ExecSort(const PNode& node, ExecStats* stats) const;
+
+  /// Hash-exchanges `input` into options_.partitions buckets by the
+  /// encoded value of `key_evals`; records serde bytes/frames and
+  /// simulated network time into `stage`.
+  Result<PartitionSet> Exchange(const PartitionSet& input,
+                                const std::vector<ScalarEvalPtr>& key_evals,
+                                StageStats* stage, ExecStats* stats) const;
+
+  int NodeOfPartition(int p) const {
+    return p / (options_.partitions_per_node > 0
+                    ? options_.partitions_per_node
+                    : 1);
+  }
+
+  const Catalog* catalog_;
+  ExecOptions options_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,72 @@
+#ifndef JPAR_RUNTIME_FRAME_H_
+#define JPAR_RUNTIME_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/tuple.h"
+
+namespace jpar {
+
+/// A fixed-target-size byte buffer of serialized tuples — the unit of
+/// data movement at exchange boundaries (Hyracks frames). Tuples are
+/// encoded back to back as: varint column-count, then each column as a
+/// binary item (see json/binary_serde.h).
+struct Frame {
+  std::string bytes;
+  uint32_t tuple_count = 0;
+};
+
+/// Serializes `tuple` and appends it to `out`; returns the encoded size.
+size_t AppendTupleTo(const Tuple& tuple, std::string* out);
+
+/// Accumulates tuples into frames of approximately `target_bytes`. A
+/// tuple larger than target_bytes produces a dedicated oversized frame —
+/// the situation the paper's pipelining rules are designed to avoid.
+class FrameBuilder {
+ public:
+  explicit FrameBuilder(size_t target_bytes) : target_bytes_(target_bytes) {}
+
+  /// Appends a tuple; if the current frame is full it is sealed into the
+  /// finished list. Returns the serialized tuple size in bytes.
+  size_t Append(const Tuple& tuple);
+
+  /// Seals any partial frame and returns all finished frames.
+  std::vector<Frame> Finish();
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t max_tuple_bytes() const { return max_tuple_bytes_; }
+  uint64_t oversized_frames() const { return oversized_frames_; }
+  uint64_t tuple_count() const { return tuple_count_; }
+
+ private:
+  size_t target_bytes_;
+  Frame current_;
+  std::vector<Frame> finished_;
+  uint64_t total_bytes_ = 0;
+  uint64_t max_tuple_bytes_ = 0;
+  uint64_t oversized_frames_ = 0;
+  uint64_t tuple_count_ = 0;
+};
+
+/// Iterates the tuples of a frame sequence, deserializing one at a time.
+class FrameReader {
+ public:
+  explicit FrameReader(const std::vector<Frame>& frames) : frames_(frames) {}
+
+  /// Reads the next tuple into *tuple. Returns true when a tuple was
+  /// produced, false at end of stream; parse failures return a Status.
+  Result<bool> Next(Tuple* tuple);
+
+ private:
+  const std::vector<Frame>& frames_;
+  size_t frame_index_ = 0;
+  size_t byte_pos_ = 0;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_FRAME_H_

@@ -1,0 +1,48 @@
+#ifndef JPAR_RUNTIME_MEMORY_H_
+#define JPAR_RUNTIME_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace jpar {
+
+/// Tracks retained bytes of the engine's materializing structures (group
+/// tables, join build sides, materialized sequences, exchange buffers).
+/// Used for the paper's Table 3 memory comparison and to emulate the
+/// Spark-SQL OOM cliff in the MemTable baseline. Thread-safe.
+class MemoryTracker {
+ public:
+  /// limit_bytes == 0 means unlimited.
+  explicit MemoryTracker(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  Status Allocate(uint64_t bytes) {
+    uint64_t now = current_.fetch_add(bytes) + bytes;
+    // Lock-free peak update.
+    uint64_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+    if (limit_ != 0 && now > limit_) {
+      return Status::ResourceExhausted(
+          "memory limit exceeded: " + std::to_string(now) + " > " +
+          std::to_string(limit_) + " bytes");
+    }
+    return Status::OK();
+  }
+
+  void Release(uint64_t bytes) { current_.fetch_sub(bytes); }
+
+  uint64_t current_bytes() const { return current_.load(); }
+  uint64_t peak_bytes() const { return peak_.load(); }
+  uint64_t limit_bytes() const { return limit_; }
+
+ private:
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+  uint64_t limit_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_MEMORY_H_

@@ -1,0 +1,155 @@
+#include "runtime/operators.h"
+
+#include <utility>
+
+#include "runtime/frame.h"
+
+namespace jpar {
+
+std::string AggSpec::ToString() const {
+  std::string out(AggKindToString(kind));
+  out.push_back('(');
+  out += arg != nullptr ? arg->ToString() : std::string("?");
+  out.push_back(')');
+  return out;
+}
+
+std::string UnaryOpDesc::ToString() const {
+  switch (kind) {
+    case Kind::kAssign:
+      return "ASSIGN " + eval->ToString();
+    case Kind::kSelect:
+      return "SELECT " + eval->ToString();
+    case Kind::kUnnest:
+      return "UNNEST " + eval->ToString();
+    case Kind::kSubplan:
+      return "SUBPLAN { " + subplan->ToString() + " }";
+    case Kind::kProject: {
+      std::string out = "PROJECT";
+      for (size_t i = 0; i < columns.size(); ++i) {
+        out += (i == 0 ? " $col" : ", $col") + std::to_string(columns[i]);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string SubplanDesc::ToString() const {
+  std::string out;
+  for (const UnaryOpDesc& op : ops) {
+    out += op.ToString();
+    out += "; ";
+  }
+  out += "AGGREGATE ";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs[i].ToString();
+  }
+  return out;
+}
+
+std::string ScanDesc::ToString() const {
+  switch (kind) {
+    case Kind::kEmptyTupleSource:
+      return "EMPTY-TUPLE-SOURCE";
+    case Kind::kDataScan: {
+      std::string out = "DATASCAN collection(\"" + collection + "\")" +
+                        PathToString(steps);
+      if (use_index) {
+        out += " [index: " + PathToString(index_path) +
+               " = " + index_value.ToJsonString() + "]";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+Status RunChain(const std::vector<UnaryOpDesc>& ops, size_t from,
+                Tuple tuple, EvalContext* ctx, const TupleSink& sink) {
+  if (from == ops.size()) return sink(std::move(tuple));
+  if (ctx->charge_boundaries) {
+    // Materialize the tuple into a frame, as Hyracks does between
+    // operators. The buffer is reused; the serialization work and the
+    // byte counts are the point.
+    ctx->frame_scratch.clear();
+    size_t encoded = AppendTupleTo(tuple, &ctx->frame_scratch);
+    ctx->boundary_bytes += encoded;
+    ++ctx->boundary_tuples;
+    if (encoded > ctx->max_tuple_bytes) ctx->max_tuple_bytes = encoded;
+  }
+  const UnaryOpDesc& op = ops[from];
+  switch (op.kind) {
+    case UnaryOpDesc::Kind::kAssign: {
+      JPAR_ASSIGN_OR_RETURN(Item value, op.eval->Eval(tuple, ctx));
+      tuple.push_back(std::move(value));
+      return RunChain(ops, from + 1, std::move(tuple), ctx, sink);
+    }
+    case UnaryOpDesc::Kind::kSelect: {
+      JPAR_ASSIGN_OR_RETURN(Item cond, op.eval->Eval(tuple, ctx));
+      JPAR_ASSIGN_OR_RETURN(bool keep, cond.EffectiveBooleanValue());
+      if (!keep) return Status::OK();
+      return RunChain(ops, from + 1, std::move(tuple), ctx, sink);
+    }
+    case UnaryOpDesc::Kind::kUnnest: {
+      JPAR_ASSIGN_OR_RETURN(Item seq, op.eval->Eval(tuple, ctx));
+      if (seq.is_sequence()) {
+        for (const Item& member : seq.sequence()) {
+          Tuple next = tuple;
+          next.push_back(member);
+          JPAR_RETURN_NOT_OK(RunChain(ops, from + 1, std::move(next), ctx,
+                                      sink));
+        }
+        return Status::OK();
+      }
+      // A non-sequence unnests as a singleton.
+      tuple.push_back(std::move(seq));
+      return RunChain(ops, from + 1, std::move(tuple), ctx, sink);
+    }
+    case UnaryOpDesc::Kind::kSubplan: {
+      JPAR_ASSIGN_OR_RETURN(Tuple out, RunSubplan(*op.subplan, tuple, ctx));
+      return RunChain(ops, from + 1, std::move(out), ctx, sink);
+    }
+    case UnaryOpDesc::Kind::kProject: {
+      Tuple out;
+      out.reserve(op.columns.size());
+      for (int col : op.columns) {
+        if (col < 0 || static_cast<size_t>(col) >= tuple.size()) {
+          return Status::Internal("PROJECT column out of range");
+        }
+        out.push_back(tuple[static_cast<size_t>(col)]);
+      }
+      return RunChain(ops, from + 1, std::move(out), ctx, sink);
+    }
+  }
+  return Status::Internal("unknown unary operator kind");
+}
+
+Result<Tuple> RunSubplan(const SubplanDesc& subplan, const Tuple& seed,
+                         EvalContext* ctx) {
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+  aggs.reserve(subplan.aggs.size());
+  for (const AggSpec& spec : subplan.aggs) {
+    JPAR_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                          MakeAggregator(spec.kind, AggStep::kComplete));
+    aggs.push_back(std::move(agg));
+  }
+  JPAR_RETURN_NOT_OK(RunChain(
+      subplan.ops, 0, seed, ctx, [&](Tuple inner) -> Status {
+        for (size_t i = 0; i < aggs.size(); ++i) {
+          JPAR_ASSIGN_OR_RETURN(Item value,
+                                subplan.aggs[i].arg->Eval(inner, ctx));
+          JPAR_RETURN_NOT_OK(aggs[i]->Step(value));
+        }
+        return Status::OK();
+      }));
+  Tuple out = seed;
+  for (std::unique_ptr<Aggregator>& agg : aggs) {
+    JPAR_ASSIGN_OR_RETURN(Item value, agg->Finish());
+    out.push_back(std::move(value));
+  }
+  return out;
+}
+
+}  // namespace jpar

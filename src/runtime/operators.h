@@ -1,0 +1,132 @@
+#ifndef JPAR_RUNTIME_OPERATORS_H_
+#define JPAR_RUNTIME_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/projecting_reader.h"
+#include "runtime/aggregates.h"
+#include "runtime/expression.h"
+#include "runtime/tuple.h"
+
+namespace jpar {
+
+/// Receives the tuples produced by a pipeline segment.
+using TupleSink = std::function<Status(Tuple)>;
+
+/// One aggregate computed by an AGGREGATE / GROUP-BY / SUBPLAN:
+/// `kind(arg)` evaluated over the operator's input stream, result bound
+/// to a fresh output column.
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  ScalarEvalPtr arg;
+
+  std::string ToString() const;
+};
+
+struct SubplanDesc;
+
+/// A streaming (non-blocking) physical operator. Pipelines are vectors
+/// of these descriptors; they are immutable and shared across partition
+/// tasks.
+struct UnaryOpDesc {
+  enum class Kind : uint8_t {
+    kAssign,   // append eval(tuple) as a new column
+    kSelect,   // keep tuple iff EBV(eval(tuple))
+    kUnnest,   // for each member of eval(tuple): append as new column
+    kSubplan,  // run nested plan per tuple; append its aggregate columns
+    kProject,  // keep only the listed columns (dead-variable pruning)
+  };
+
+  Kind kind = Kind::kAssign;
+  ScalarEvalPtr eval;                      // kAssign/kSelect/kUnnest
+  std::shared_ptr<const SubplanDesc> subplan;  // kSubplan
+  std::vector<int> columns;                // kProject
+
+  static UnaryOpDesc Assign(ScalarEvalPtr e) {
+    UnaryOpDesc d;
+    d.kind = Kind::kAssign;
+    d.eval = std::move(e);
+    return d;
+  }
+  static UnaryOpDesc Select(ScalarEvalPtr e) {
+    UnaryOpDesc d;
+    d.kind = Kind::kSelect;
+    d.eval = std::move(e);
+    return d;
+  }
+  static UnaryOpDesc Unnest(ScalarEvalPtr e) {
+    UnaryOpDesc d;
+    d.kind = Kind::kUnnest;
+    d.eval = std::move(e);
+    return d;
+  }
+  static UnaryOpDesc Subplan(std::shared_ptr<const SubplanDesc> s) {
+    UnaryOpDesc d;
+    d.kind = Kind::kSubplan;
+    d.subplan = std::move(s);
+    return d;
+  }
+  static UnaryOpDesc Project(std::vector<int> cols) {
+    UnaryOpDesc d;
+    d.kind = Kind::kProject;
+    d.columns = std::move(cols);
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+/// A nested plan executed once per outer tuple (the SUBPLAN operator,
+/// paper Fig. 11): streaming ops over the seed tuple, then aggregates
+/// over the resulting stream. Output: seed tuple ++ one column per agg.
+struct SubplanDesc {
+  std::vector<UnaryOpDesc> ops;
+  std::vector<AggSpec> aggs;
+
+  std::string ToString() const;
+};
+
+/// Applies `ops[from..]` to `tuple`, delivering results to `sink`.
+/// Recursion depth equals pipeline length (small).
+Status RunChain(const std::vector<UnaryOpDesc>& ops, size_t from,
+                Tuple tuple, EvalContext* ctx, const TupleSink& sink);
+
+/// Runs a SUBPLAN for one outer tuple, producing exactly one output
+/// tuple (seed ++ aggregate results).
+Result<Tuple> RunSubplan(const SubplanDesc& subplan, const Tuple& seed,
+                         EvalContext* ctx);
+
+/// The source of a pipeline.
+struct ScanDesc {
+  enum class Kind : uint8_t {
+    /// Emits one empty tuple (EMPTY-TUPLE-SOURCE): pre-pipelining-rule
+    /// plans read collections via the collection() scalar instead.
+    kEmptyTupleSource,
+    /// DATASCAN collection with pushed-down path steps: emits one tuple
+    /// per item matched by `steps` in each file of the partition.
+    kDataScan,
+  };
+
+  Kind kind = Kind::kEmptyTupleSource;
+  std::string collection;       // kDataScan
+  std::vector<PathStep> steps;  // kDataScan; empty = whole document
+
+  /// Index-assisted scan (the paper's future-work extension): when
+  /// `use_index` is set, only files whose `index_path` values include
+  /// `index_value` (per the catalog's path index) are scanned. The
+  /// predicate itself stays in the plan — the index is a file-pruning
+  /// accelerator, not a filter.
+  bool use_index = false;
+  std::vector<PathStep> index_path;
+  Item index_value;
+
+  std::string ToString() const;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_OPERATORS_H_

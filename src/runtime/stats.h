@@ -1,0 +1,76 @@
+#ifndef JPAR_RUNTIME_STATS_H_
+#define JPAR_RUNTIME_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jpar {
+
+/// Per-stage measurements. A "stage" is a Hyracks-style superstep: all
+/// partitions of one pipeline (or one exchange + blocking operator) run
+/// to completion before the next stage starts.
+struct StageStats {
+  std::string name;
+  /// Wall-clock milliseconds per partition task. On a single-core host
+  /// partitions run sequentially; the simulated-parallel makespan of the
+  /// stage is max(partition_ms).
+  std::vector<double> partition_ms;
+  /// Total time spent serializing/deserializing and routing exchange
+  /// frames (single-host wall clock; kept for reference).
+  double exchange_ms = 0;
+  /// Per-task exchange times for the makespan model: one vector per
+  /// exchange phase (sender-side encode tasks, receiver-side decode
+  /// tasks), each LPT-scheduled onto the modeled cores like ordinary
+  /// partition tasks.
+  std::vector<std::vector<double>> exchange_task_ms;
+  /// Simulated cross-node network time for this stage's exchange.
+  double network_ms = 0;
+  uint64_t exchange_bytes = 0;
+  uint64_t exchange_frames = 0;
+  uint64_t exchange_tuples = 0;
+  /// Largest single serialized tuple seen at an operator boundary or
+  /// exchange (shows how the rewrite rules shrink tuple granularity).
+  uint64_t max_tuple_bytes = 0;
+  /// Total bytes materialized into frames at intra-pipeline operator
+  /// boundaries (the "buffer size between operators" of paper §4.1).
+  uint64_t pipeline_bytes = 0;
+  /// Frames larger than the configured frame size (tuple > frame).
+  uint64_t oversized_frames = 0;
+
+  double MaxPartitionMs() const {
+    double m = 0;
+    for (double v : partition_ms) m = v > m ? v : m;
+    return m;
+  }
+  double SumPartitionMs() const {
+    double s = 0;
+    for (double v : partition_ms) s += v;
+    return s;
+  }
+};
+
+/// End-to-end execution statistics returned with every query result.
+struct ExecStats {
+  std::vector<StageStats> stages;
+
+  /// Real wall-clock time of the whole job on this host.
+  double real_ms = 0;
+  /// Simulated parallel time: sum over stages of
+  /// max(partition_ms) + exchange_ms (+ modeled network cost). This is
+  /// the quantity the paper's speed-up/scale-up figures plot.
+  double makespan_ms = 0;
+  /// Modeled cross-node network time included in makespan_ms.
+  double network_ms = 0;
+
+  uint64_t bytes_scanned = 0;
+  uint64_t items_scanned = 0;
+  uint64_t result_rows = 0;
+  uint64_t peak_retained_bytes = 0;
+
+  void Merge(const StageStats& stage) { stages.push_back(stage); }
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_STATS_H_

@@ -1,0 +1,24 @@
+#ifndef JPAR_RUNTIME_TUPLE_H_
+#define JPAR_RUNTIME_TUPLE_H_
+
+#include <vector>
+
+#include "json/item.h"
+
+namespace jpar {
+
+/// A dataflow tuple: one Item per live query variable (column). Column
+/// positions are assigned by the physical translator; runtime operators
+/// address columns by index only.
+using Tuple = std::vector<Item>;
+
+/// Approximate retained size of a tuple (for frame and memory stats).
+inline size_t TupleSizeBytes(const Tuple& tuple) {
+  size_t total = sizeof(Tuple);
+  for (const Item& item : tuple) total += item.EstimateSizeBytes();
+  return total;
+}
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_TUPLE_H_

@@ -1,0 +1,172 @@
+#include "runtime/aggregates.h"
+
+#include <gtest/gtest.h>
+
+namespace jpar {
+namespace {
+
+Item Finish(AggKind kind, AggStep step, std::vector<Item> inputs) {
+  auto agg = MakeAggregator(kind, step);
+  EXPECT_TRUE(agg.ok());
+  for (const Item& i : inputs) {
+    Status st = (*agg)->Step(i);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  auto out = (*agg)->Finish();
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return *out;
+}
+
+TEST(AggregatorTest, CountComplete) {
+  EXPECT_EQ(Finish(AggKind::kCount, AggStep::kComplete,
+                   {Item::Int64(7), Item::String("x"), Item::Null()}),
+            Item::Int64(3));
+  EXPECT_EQ(Finish(AggKind::kCount, AggStep::kComplete, {}), Item::Int64(0));
+}
+
+TEST(AggregatorTest, CountSequenceInputsCountMembers) {
+  // A sequence item contributes its members; empty sequences nothing.
+  EXPECT_EQ(Finish(AggKind::kCount, AggStep::kComplete,
+                   {Item::MakeSequence({Item::Int64(1), Item::Int64(2)}),
+                    Item::EmptySequence(), Item::Int64(9)}),
+            Item::Int64(3));
+}
+
+TEST(AggregatorTest, SumAvgMinMax) {
+  std::vector<Item> in = {Item::Int64(4), Item::Int64(1), Item::Int64(7)};
+  EXPECT_EQ(Finish(AggKind::kSum, AggStep::kComplete, in), Item::Int64(12));
+  EXPECT_EQ(Finish(AggKind::kAvg, AggStep::kComplete, in),
+            Item::Double(4.0));
+  EXPECT_EQ(Finish(AggKind::kMin, AggStep::kComplete, in), Item::Int64(1));
+  EXPECT_EQ(Finish(AggKind::kMax, AggStep::kComplete, in), Item::Int64(7));
+}
+
+TEST(AggregatorTest, EmptyInputEdgeCases) {
+  EXPECT_EQ(Finish(AggKind::kSum, AggStep::kComplete, {}), Item::Int64(0));
+  EXPECT_EQ(Finish(AggKind::kAvg, AggStep::kComplete, {}).SequenceLength(),
+            0u);
+  EXPECT_EQ(Finish(AggKind::kMin, AggStep::kComplete, {}).SequenceLength(),
+            0u);
+}
+
+TEST(AggregatorTest, SequenceAggregatorMaterializes) {
+  Item out = Finish(AggKind::kSequence, AggStep::kComplete,
+                    {Item::Int64(1), Item::Int64(2)});
+  ASSERT_TRUE(out.is_sequence());
+  EXPECT_EQ(out.sequence().size(), 2u);
+}
+
+TEST(AggregatorTest, SequenceRetainedBytesGrow) {
+  auto agg = MakeAggregator(AggKind::kSequence, AggStep::kComplete);
+  ASSERT_TRUE(agg.ok());
+  size_t before = (*agg)->RetainedBytes();
+  ASSERT_TRUE((*agg)->Step(Item::String(std::string(10000, 'x'))).ok());
+  EXPECT_GT((*agg)->RetainedBytes(), before + 9000);
+  // Incremental count stays O(1) — the group-by rules' point.
+  auto count = MakeAggregator(AggKind::kCount, AggStep::kComplete);
+  ASSERT_TRUE(count.ok());
+  size_t count_size = (*count)->RetainedBytes();
+  ASSERT_TRUE((*count)->Step(Item::String(std::string(10000, 'x'))).ok());
+  EXPECT_EQ((*count)->RetainedBytes(), count_size);
+}
+
+TEST(AggregatorTest, SequenceCannotBeSplit) {
+  EXPECT_FALSE(MakeAggregator(AggKind::kSequence, AggStep::kLocal).ok());
+  EXPECT_FALSE(MakeAggregator(AggKind::kSequence, AggStep::kGlobal).ok());
+}
+
+TEST(AggregatorTest, TwoStepCount) {
+  // Local partials are per-partition counts; the global step sums them.
+  Item p1 = Finish(AggKind::kCount, AggStep::kLocal,
+                   {Item::Int64(1), Item::Int64(2)});
+  Item p2 = Finish(AggKind::kCount, AggStep::kLocal, {Item::Int64(3)});
+  EXPECT_EQ(Finish(AggKind::kCount, AggStep::kGlobal, {p1, p2}),
+            Item::Int64(3));
+}
+
+TEST(AggregatorTest, TwoStepAvg) {
+  // avg partials are [sum, count] arrays merged component-wise.
+  Item p1 = Finish(AggKind::kAvg, AggStep::kLocal,
+                   {Item::Int64(2), Item::Int64(4)});
+  ASSERT_TRUE(p1.is_array());
+  ASSERT_EQ(p1.array().size(), 2u);
+  Item p2 = Finish(AggKind::kAvg, AggStep::kLocal, {Item::Int64(9)});
+  Item result = Finish(AggKind::kAvg, AggStep::kGlobal, {p1, p2});
+  EXPECT_EQ(result, Item::Double(5.0));
+}
+
+TEST(AggregatorTest, TwoStepSum) {
+  Item p1 = Finish(AggKind::kSum, AggStep::kLocal, {Item::Int64(10)});
+  Item p2 = Finish(AggKind::kSum, AggStep::kLocal, {Item::Int64(5)});
+  EXPECT_EQ(Finish(AggKind::kSum, AggStep::kGlobal, {p1, p2}),
+            Item::Int64(15));
+}
+
+TEST(AggregatorTest, TwoStepMinMaxMergeNaturally) {
+  // min/max partials are ordinary values; the global step is another
+  // min/max.
+  Item p1 = Finish(AggKind::kMin, AggStep::kLocal,
+                   {Item::Int64(5), Item::Int64(2)});
+  Item p2 = Finish(AggKind::kMin, AggStep::kLocal, {Item::Int64(8)});
+  EXPECT_EQ(Finish(AggKind::kMin, AggStep::kGlobal, {p1, p2}),
+            Item::Int64(2));
+}
+
+TEST(AggregatorTest, GlobalStepRejectsBadPartials) {
+  auto agg = MakeAggregator(AggKind::kAvg, AggStep::kGlobal);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_FALSE((*agg)->Step(Item::String("not a partial")).ok());
+  auto count = MakeAggregator(AggKind::kCount, AggStep::kGlobal);
+  ASSERT_TRUE(count.ok());
+  EXPECT_FALSE((*count)->Step(Item::String("nope")).ok());
+}
+
+TEST(AggregatorTest, TypeErrorsSurface) {
+  auto sum = MakeAggregator(AggKind::kSum, AggStep::kComplete);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_FALSE((*sum)->Step(Item::String("x")).ok());
+  auto min = MakeAggregator(AggKind::kMin, AggStep::kComplete);
+  ASSERT_TRUE(min.ok());
+  ASSERT_TRUE((*min)->Step(Item::Int64(1)).ok());
+  EXPECT_FALSE((*min)->Step(Item::String("x")).ok());
+}
+
+// Property sweep: two-step aggregation must agree with complete
+// aggregation for every kind and any partitioning of the input.
+class TwoStepEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<AggKind, int>> {};
+
+TEST_P(TwoStepEquivalenceTest, MatchesComplete) {
+  auto [kind, partitions] = GetParam();
+  std::vector<Item> inputs;
+  for (int i = 0; i < 23; ++i) {
+    inputs.push_back(i % 3 == 0 ? Item::Double(i * 0.5) : Item::Int64(i));
+  }
+  Item complete = Finish(kind, AggStep::kComplete, inputs);
+
+  std::vector<Item> partials;
+  for (int p = 0; p < partitions; ++p) {
+    std::vector<Item> slice;
+    for (size_t i = static_cast<size_t>(p); i < inputs.size();
+         i += static_cast<size_t>(partitions)) {
+      slice.push_back(inputs[i]);
+    }
+    partials.push_back(Finish(kind, AggStep::kLocal, slice));
+  }
+  Item merged = Finish(kind, AggStep::kGlobal, partials);
+  if (complete.is_numeric() && merged.is_numeric()) {
+    EXPECT_NEAR(complete.AsDouble(), merged.AsDouble(), 1e-9);
+  } else {
+    EXPECT_TRUE(complete.Equals(merged));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndPartitions, TwoStepEquivalenceTest,
+    ::testing::Combine(::testing::Values(AggKind::kCount, AggKind::kSum,
+                                         AggKind::kAvg, AggKind::kMin,
+                                         AggKind::kMax),
+                       ::testing::Values(1, 2, 3, 7)));
+
+}  // namespace
+}  // namespace jpar

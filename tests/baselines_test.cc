@@ -1,0 +1,273 @@
+// Tests of the comparator models: the LZ codec, the MongoDB-model
+// DocStore (compression, 16 MB limit, unwind+project), the Spark-model
+// MemTable (load phase, OOM cliff), and the AsterixDB model (query
+// equivalence with the engine, external vs loaded).
+
+#include <gtest/gtest.h>
+
+#include "baselines/asterix_like.h"
+#include "baselines/compression.h"
+#include "baselines/docstore.h"
+#include "baselines/memtable.h"
+#include "data/sensor_generator.h"
+#include "json/parser.h"
+
+namespace jpar {
+namespace {
+
+// ---------------------------------------------------------------------
+// Compression
+// ---------------------------------------------------------------------
+
+TEST(CompressionTest, RoundTripsAssortedInputs) {
+  std::vector<std::string> inputs = {
+      "",
+      "a",
+      "abcabcabcabcabcabc",
+      std::string(10000, 'z'),
+      R"({"key": "value", "key": "value", "key": "value"})",
+  };
+  // A pseudo-random blob (incompressible).
+  std::string blob;
+  uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    blob.push_back(static_cast<char>(x >> 33));
+  }
+  inputs.push_back(blob);
+  for (const std::string& in : inputs) {
+    std::string compressed = LzCompress(in);
+    auto back = LzDecompress(compressed);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, in);
+  }
+}
+
+TEST(CompressionTest, CompressesRepetitiveJson) {
+  SensorDataSpec spec;
+  spec.records_per_file = 32;
+  std::string json = GenerateSensorFile(spec, 0);
+  std::string compressed = LzCompress(json);
+  EXPECT_LT(compressed.size(), json.size() / 2) << "ratio too poor";
+}
+
+TEST(CompressionTest, LargerBlocksCompressBetter) {
+  // The property behind the paper's Fig. 18: per-document compression
+  // works better on larger documents.
+  SensorDataSpec spec;
+  spec.records_per_file = 64;
+  std::string big = GenerateSensorFile(spec, 0);
+  double big_ratio =
+      static_cast<double>(LzCompress(big).size()) / big.size();
+  // Same content split into tiny per-record documents.
+  std::vector<std::string> docs = GenerateUnwrappedDocuments(spec, 0);
+  size_t tiny_total = 0, tiny_compressed = 0;
+  spec.measurements_per_array = 1;
+  spec.records_per_file = 64;
+  docs = GenerateUnwrappedDocuments(spec, 0);
+  for (const std::string& d : docs) {
+    tiny_total += d.size();
+    tiny_compressed += LzCompress(d).size();
+  }
+  double tiny_ratio =
+      static_cast<double>(tiny_compressed) / static_cast<double>(tiny_total);
+  EXPECT_LT(big_ratio, tiny_ratio);
+}
+
+TEST(CompressionTest, RejectsCorruptStreams) {
+  std::string compressed = LzCompress("hello hello hello hello");
+  ASSERT_TRUE(LzDecompress(compressed).ok());
+  for (size_t cut = 0; cut < compressed.size(); ++cut) {
+    auto r = LzDecompress(compressed.substr(0, cut));
+    // Either a clean error or (never) a wrong success.
+    if (r.ok()) EXPECT_EQ(*r, "hello hello hello hello");
+  }
+  EXPECT_FALSE(LzDecompress("\xff\xff\xff\xff").ok());
+}
+
+// ---------------------------------------------------------------------
+// DocStore (MongoDB model)
+// ---------------------------------------------------------------------
+
+TEST(DocStoreTest, LoadThenScanReturnsDocuments) {
+  DocStore store;
+  auto stats = store.Load({R"({"a": 1})", R"({"a": 2})", R"({"a": 3})"});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->documents, 3u);
+  EXPECT_GT(stats->stored_bytes, 0u);
+  EXPECT_GT(stats->load_ms, 0.0);
+  int64_t sum = 0;
+  ASSERT_TRUE(store
+                  .ForEachDocument([&](const Item& doc) {
+                    sum += doc.GetField("a")->int64_value();
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(DocStoreTest, RejectsMalformedJsonAtLoadTime) {
+  DocStore store;
+  EXPECT_FALSE(store.Load({R"({"a": })"}).ok());
+}
+
+TEST(DocStoreTest, EnforcesDocumentSizeLimit) {
+  DocStoreOptions options;
+  options.max_document_bytes = 100;
+  DocStore store(options);
+  std::string big = R"({"data": ")" + std::string(200, 'x') + "\"}";
+  auto status = store.Load({big}).status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DocStoreTest, CompressionShrinksStorage) {
+  SensorDataSpec spec;
+  spec.records_per_file = 16;
+  std::vector<std::string> docs = GenerateUnwrappedDocuments(spec, 0);
+  DocStoreOptions with;
+  DocStoreOptions without;
+  without.compress = false;
+  DocStore compressed(with), raw(without);
+  ASSERT_TRUE(compressed.Load(docs).ok());
+  ASSERT_TRUE(raw.Load(docs).ok());
+  EXPECT_LT(compressed.stored_bytes(), raw.stored_bytes());
+  // Both decode to the same documents.
+  std::vector<std::string> a, b;
+  ASSERT_TRUE(compressed
+                  .ForEachDocument([&](const Item& d) {
+                    a.push_back(d.ToJsonString());
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_TRUE(raw.ForEachDocument([&](const Item& d) {
+                     b.push_back(d.ToJsonString());
+                     return Status::OK();
+                   })
+                  .ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DocStoreTest, UnwindProjectExplodesArrays) {
+  DocStore store;
+  ASSERT_TRUE(store
+                  .Load({R"({"meta": 1, "results": [
+                           {"station": "A", "value": 1, "junk": true},
+                           {"station": "B", "value": 2}]})",
+                         R"({"results": []})", R"({"no_results": 0})"})
+                  .ok());
+  auto rows = store.UnwindProject("results", {"station", "value"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(*(*rows)[0].GetField("station"), Item::String("A"));
+  // Projection drops unlisted fields.
+  EXPECT_FALSE((*rows)[0].GetField("junk").has_value());
+}
+
+// ---------------------------------------------------------------------
+// MemTable (Spark SQL model)
+// ---------------------------------------------------------------------
+
+TEST(MemTableTest, LoadsAndScans) {
+  Collection files;
+  files.files.push_back(JsonFile::FromText(R"({"v": 1})"));
+  files.files.push_back(JsonFile::FromText(R"({"v": 2})"));
+  MemTable table;
+  auto stats = table.Load(files);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->documents, 2u);
+  EXPECT_GT(table.memory_bytes(), 0u);
+  int64_t sum = 0;
+  ASSERT_TRUE(table
+                  .ForEachDocument([&](const Item& doc) {
+                    sum += doc.GetField("v")->int64_value();
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(MemTableTest, MemoryGrowsWithInput) {
+  SensorDataSpec small_spec;
+  small_spec.num_files = 1;
+  small_spec.records_per_file = 4;
+  SensorDataSpec big_spec = small_spec;
+  big_spec.num_files = 4;
+  MemTable small, big;
+  ASSERT_TRUE(small.Load(GenerateSensorCollection(small_spec)).ok());
+  ASSERT_TRUE(big.Load(GenerateSensorCollection(big_spec)).ok());
+  EXPECT_GT(big.memory_bytes(), 2 * small.memory_bytes());
+}
+
+TEST(MemTableTest, OomCliff) {
+  SensorDataSpec spec;
+  spec.num_files = 4;
+  spec.records_per_file = 16;
+  MemTableOptions options;
+  options.memory_limit_bytes = 10 * 1024;  // far below the data size
+  MemTable table(options);
+  auto status = table.Load(GenerateSensorCollection(spec)).status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------
+// AsterixLike
+// ---------------------------------------------------------------------
+
+TEST(AsterixLikeTest, ExternalAndLoadedAgreeWithEngine) {
+  SensorDataSpec spec;
+  spec.num_files = 3;
+  spec.records_per_file = 6;
+  Collection data = GenerateSensorCollection(spec);
+  const char* query = R"(
+      for $r in collection("/sensors")("root")()("results")()
+      where $r("dataType") eq "TMIN"
+      group by $date := $r("date")
+      return count($r("station")))";
+
+  Engine vx;  // full rules
+  vx.catalog()->RegisterCollection("/sensors", data);
+  auto expected = vx.Run(query);
+  ASSERT_TRUE(expected.ok());
+
+  for (bool preload : {false, true}) {
+    AsterixLikeOptions options;
+    options.preload = preload;
+    AsterixLike asterix(options);
+    auto load = asterix.Register("/sensors", data);
+    ASSERT_TRUE(load.ok()) << load.status().ToString();
+    if (preload) {
+      EXPECT_GT(load->load_ms, 0.0);
+      EXPECT_GT(load->stored_bytes, 0u);
+      EXPECT_EQ(load->documents, 3u);
+    } else {
+      EXPECT_EQ(load->load_ms, 0.0);
+    }
+    auto result = asterix.Run(query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::multiset<std::string> a, b;
+    for (const Item& i : expected->items) a.insert(i.ToJsonString());
+    for (const Item& i : result->items) b.insert(i.ToJsonString());
+    EXPECT_EQ(a, b) << "preload=" << preload;
+  }
+}
+
+TEST(AsterixLikeTest, PlansLackScanPushdown) {
+  AsterixLikeOptions options;
+  AsterixLike asterix(options);
+  SensorDataSpec spec;
+  spec.num_files = 1;
+  spec.records_per_file = 2;
+  ASSERT_TRUE(
+      asterix.Register("/sensors", GenerateSensorCollection(spec)).ok());
+  auto compiled = asterix.engine().Compile(R"(
+      for $r in collection("/sensors")("root")()("results")()
+      return $r)");
+  ASSERT_TRUE(compiled.ok());
+  // DATASCAN exists (Algebricks) but navigation is not pushed into it
+  // (the paper's "lack of the JSONiq Pipeline Rules").
+  EXPECT_NE(compiled->optimized_plan.find("DATASCAN"), std::string::npos);
+  EXPECT_NE(compiled->optimized_plan.find("UNNEST"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jpar

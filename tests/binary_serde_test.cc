@@ -1,0 +1,112 @@
+#include "json/binary_serde.h"
+
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+
+namespace jpar {
+namespace {
+
+void ExpectRoundTrip(const Item& item) {
+  std::string binary = SerializeItem(item);
+  auto back = DeserializeItem(binary);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(item.Equals(*back)) << item.ToJsonString();
+  // Kind must be preserved exactly (not just value equality).
+  EXPECT_EQ(item.kind(), back->kind());
+}
+
+TEST(BinarySerdeTest, Scalars) {
+  ExpectRoundTrip(Item::Null());
+  ExpectRoundTrip(Item::Boolean(true));
+  ExpectRoundTrip(Item::Boolean(false));
+  ExpectRoundTrip(Item::Int64(0));
+  ExpectRoundTrip(Item::Int64(-1));
+  ExpectRoundTrip(Item::Int64(INT64_MAX));
+  ExpectRoundTrip(Item::Int64(INT64_MIN));
+  ExpectRoundTrip(Item::Double(3.14159));
+  ExpectRoundTrip(Item::Double(-0.0));
+  ExpectRoundTrip(Item::String(""));
+  ExpectRoundTrip(Item::String("hello world"));
+  ExpectRoundTrip(Item::String(std::string(100000, 'x')));
+}
+
+TEST(BinarySerdeTest, DateTime) {
+  ExpectRoundTrip(Item::DateTime({2013, 12, 25, 1, 2, 3}));
+  ExpectRoundTrip(Item::DateTime({-44, 3, 15, 0, 0, 0}));  // negative year
+}
+
+TEST(BinarySerdeTest, Structures) {
+  ExpectRoundTrip(Item::MakeArray({}));
+  ExpectRoundTrip(Item::MakeObject({}));
+  ExpectRoundTrip(Item::EmptySequence());
+  ExpectRoundTrip(Item::MakeArray(
+      {Item::Int64(1), Item::String("a"),
+       Item::MakeObject({{"k", Item::Null()}})}));
+  ExpectRoundTrip(Item::MakeSequence({Item::Int64(1), Item::Int64(2)}));
+}
+
+TEST(BinarySerdeTest, ComplexDocumentRoundTrip) {
+  auto doc = ParseJson(R"({
+    "root": [
+      {"metadata": {"count": 2}, "values": [1.5, -2, "s", null, true]},
+      {"empty": {}, "list": []}
+    ]
+  })");
+  ASSERT_TRUE(doc.ok());
+  ExpectRoundTrip(*doc);
+}
+
+TEST(BinarySerdeTest, VarintBoundaries) {
+  // Strings of lengths around varint byte boundaries.
+  for (size_t len : {0u, 1u, 127u, 128u, 129u, 16383u, 16384u}) {
+    ExpectRoundTrip(Item::String(std::string(len, 'v')));
+  }
+  for (int64_t v : {63ll, 64ll, -64ll, -65ll, 8191ll, -8192ll}) {
+    ExpectRoundTrip(Item::Int64(v));
+  }
+}
+
+TEST(BinarySerdeTest, ZigZagEncoding) {
+  EXPECT_EQ(ItemWriter::ZigZag(0), 0u);
+  EXPECT_EQ(ItemWriter::ZigZag(-1), 1u);
+  EXPECT_EQ(ItemWriter::ZigZag(1), 2u);
+  EXPECT_EQ(ItemReader::UnZigZag(ItemWriter::ZigZag(-123456789)),
+            -123456789);
+  EXPECT_EQ(ItemReader::UnZigZag(ItemWriter::ZigZag(INT64_MIN)), INT64_MIN);
+}
+
+TEST(BinarySerdeTest, TruncatedInputsFailCleanly) {
+  Item item = Item::MakeObject(
+      {{"a", Item::MakeArray({Item::Int64(1), Item::String("xyz")})}});
+  std::string binary = SerializeItem(item);
+  for (size_t cut = 0; cut < binary.size(); ++cut) {
+    auto result = DeserializeItem(binary.substr(0, cut));
+    EXPECT_FALSE(result.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(BinarySerdeTest, TrailingBytesRejected) {
+  std::string binary = SerializeItem(Item::Int64(7));
+  binary.push_back('\0');
+  EXPECT_FALSE(DeserializeItem(binary).ok());
+}
+
+TEST(BinarySerdeTest, EmptyInputRejected) {
+  EXPECT_FALSE(DeserializeItem("").ok());
+}
+
+TEST(BinarySerdeTest, UnknownTagRejected) {
+  std::string bad(1, static_cast<char>(0x7F));
+  EXPECT_FALSE(DeserializeItem(bad).ok());
+}
+
+TEST(BinarySerdeTest, BinaryIsCompacterThanJsonForNumbers) {
+  Item::ItemVector numbers;
+  for (int i = 0; i < 1000; ++i) numbers.push_back(Item::Int64(i));
+  Item arr = Item::MakeArray(std::move(numbers));
+  EXPECT_LT(SerializeItem(arr).size(), arr.ToJsonString().size());
+}
+
+}  // namespace
+}  // namespace jpar

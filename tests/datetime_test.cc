@@ -1,0 +1,75 @@
+#include "json/datetime.h"
+
+#include <gtest/gtest.h>
+
+namespace jpar {
+namespace {
+
+TEST(DateTimeTest, ParsesCompactDate) {
+  auto dt = ParseDateTime("20031225");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->year, 2003);
+  EXPECT_EQ(dt->month, 12);
+  EXPECT_EQ(dt->day, 25);
+  EXPECT_EQ(dt->hour, 0);
+}
+
+TEST(DateTimeTest, ParsesPaperSensorFormat) {
+  // The NOAA sensor "date" fields look like "20131225T00:00".
+  auto dt = ParseDateTime("20131225T00:00");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->year, 2013);
+  EXPECT_EQ(dt->month, 12);
+  EXPECT_EQ(dt->day, 25);
+}
+
+TEST(DateTimeTest, ParsesIsoWithSeconds) {
+  auto dt = ParseDateTime("2014-01-02T03:04:05");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->year, 2014);
+  EXPECT_EQ(dt->month, 1);
+  EXPECT_EQ(dt->day, 2);
+  EXPECT_EQ(dt->hour, 3);
+  EXPECT_EQ(dt->minute, 4);
+  EXPECT_EQ(dt->second, 5);
+}
+
+TEST(DateTimeTest, ParsesIsoDateOnly) {
+  auto dt = ParseDateTime("2014-06-30");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->month, 6);
+  EXPECT_EQ(dt->day, 30);
+}
+
+TEST(DateTimeTest, RejectsMalformedInputs) {
+  for (const char* bad :
+       {"", "2014", "20141", "2014-13-01", "20140132", "20140101T25:00",
+        "20140101T10:61", "20140101T10:00:61", "20140101X10:00",
+        "2014-01:02", "20140101T10:00garbage", "abcd0101"}) {
+    EXPECT_FALSE(ParseDateTime(bad).ok()) << bad;
+  }
+}
+
+TEST(DateTimeTest, FormatRoundTrip) {
+  DateTimeValue dt{2005, 7, 9, 12, 30, 45};
+  std::string text = FormatDateTime(dt);
+  EXPECT_EQ(text, "2005-07-09T12:30:45");
+  auto back = ParseDateTime(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, dt);
+}
+
+TEST(DateTimeTest, ChronologicalCompare) {
+  DateTimeValue a{2003, 12, 25, 0, 0, 0};
+  DateTimeValue b{2003, 12, 25, 0, 0, 1};
+  DateTimeValue c{2004, 1, 1, 0, 0, 0};
+  EXPECT_EQ(a.Compare(a), 0);
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(c.Compare(b), 0);
+  // Each field participates.
+  DateTimeValue d{2003, 11, 30, 23, 59, 59};
+  EXPECT_GT(a.Compare(d), 0);
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,282 @@
+#include "runtime/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace jpar {
+namespace {
+
+Result<Item> Eval(Builtin fn, std::vector<Item> args,
+                  EvalContext* ctx = nullptr) {
+  std::vector<ScalarEvalPtr> evals;
+  for (Item& a : args) evals.push_back(MakeConstantEval(std::move(a)));
+  auto f = MakeFunctionEval(fn, std::move(evals));
+  if (!f.ok()) return f.status();
+  EvalContext local;
+  Tuple empty;
+  return (*f)->Eval(empty, ctx != nullptr ? ctx : &local);
+}
+
+Item Obj(std::initializer_list<std::pair<const char*, Item>> fields) {
+  Item::Object out;
+  for (const auto& [k, v] : fields) out.push_back({k, v});
+  return Item::MakeObject(std::move(out));
+}
+
+// ---------------------------------------------------------------------
+// value() — the JSONiq navigation the paper's §3.2 defines.
+// ---------------------------------------------------------------------
+
+TEST(ValueStepTest, ObjectFieldLookup) {
+  Item obj = Obj({{"a", Item::Int64(1)}, {"b", Item::String("x")}});
+  EXPECT_EQ(*ValueStep(obj, Item::String("a")), Item::Int64(1));
+  EXPECT_EQ(ValueStep(obj, Item::String("zz"))->SequenceLength(), 0u);
+  // Non-string key on an object selects nothing.
+  EXPECT_EQ(ValueStep(obj, Item::Int64(1))->SequenceLength(), 0u);
+}
+
+TEST(ValueStepTest, ArrayIndexIsOneBased) {
+  Item arr = Item::MakeArray({Item::String("a"), Item::String("b")});
+  EXPECT_EQ(*ValueStep(arr, Item::Int64(1)), Item::String("a"));
+  EXPECT_EQ(*ValueStep(arr, Item::Int64(2)), Item::String("b"));
+  EXPECT_EQ(ValueStep(arr, Item::Int64(0))->SequenceLength(), 0u);
+  EXPECT_EQ(ValueStep(arr, Item::Int64(3))->SequenceLength(), 0u);
+  EXPECT_EQ(ValueStep(arr, Item::String("a"))->SequenceLength(), 0u);
+}
+
+TEST(ValueStepTest, MapsOverSequences) {
+  // JSONiq navigation maps over sequences — the pre-group-by-rule
+  // plans depend on this (paper §4.3's "value applied on a sequence").
+  Item seq = Item::MakeSequence(
+      {Obj({{"t", Item::Int64(1)}}), Obj({{"t", Item::Int64(2)}}),
+       Obj({{"u", Item::Int64(3)}})});
+  Item mapped = *ValueStep(seq, Item::String("t"));
+  ASSERT_TRUE(mapped.is_sequence());
+  ASSERT_EQ(mapped.sequence().size(), 2u);  // missing fields vanish
+  EXPECT_EQ(mapped.sequence()[1], Item::Int64(2));
+}
+
+TEST(ValueStepTest, AtomicSelectsNothing) {
+  EXPECT_EQ(ValueStep(Item::Int64(5), Item::String("x"))->SequenceLength(),
+            0u);
+}
+
+// ---------------------------------------------------------------------
+// keys-or-members()
+// ---------------------------------------------------------------------
+
+TEST(KeysOrMembersTest, ArrayMembers) {
+  Item arr = Item::MakeArray({Item::Int64(1), Item::Int64(2)});
+  Item members = *KeysOrMembersStep(arr);
+  ASSERT_TRUE(members.is_sequence());
+  EXPECT_EQ(members.sequence().size(), 2u);
+}
+
+TEST(KeysOrMembersTest, SingletonArrayCollapses) {
+  Item arr = Item::MakeArray({Item::String("only")});
+  EXPECT_EQ(*KeysOrMembersStep(arr), Item::String("only"));
+}
+
+TEST(KeysOrMembersTest, ObjectKeys) {
+  Item keys = *KeysOrMembersStep(Obj({{"a", Item::Int64(1)},
+                                      {"b", Item::Int64(2)}}));
+  ASSERT_TRUE(keys.is_sequence());
+  EXPECT_EQ(keys.sequence()[0], Item::String("a"));
+  EXPECT_EQ(keys.sequence()[1], Item::String("b"));
+}
+
+TEST(KeysOrMembersTest, AtomicsAndEmptyYieldEmpty) {
+  EXPECT_EQ(KeysOrMembersStep(Item::Int64(1))->SequenceLength(), 0u);
+  EXPECT_EQ(KeysOrMembersStep(Item::MakeArray({}))->SequenceLength(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Comparisons, boolean logic, arithmetic
+// ---------------------------------------------------------------------
+
+TEST(FunctionEvalTest, GeneralComparisons) {
+  EXPECT_EQ(*Eval(Builtin::kEq, {Item::Int64(1), Item::Double(1.0)}),
+            Item::Boolean(true));
+  EXPECT_EQ(*Eval(Builtin::kLt, {Item::String("a"), Item::String("b")}),
+            Item::Boolean(true));
+  EXPECT_EQ(*Eval(Builtin::kGe, {Item::Int64(3), Item::Int64(3)}),
+            Item::Boolean(true));
+  EXPECT_EQ(*Eval(Builtin::kNe, {Item::Int64(3), Item::Int64(3)}),
+            Item::Boolean(false));
+}
+
+TEST(FunctionEvalTest, ExistentialSequenceComparison) {
+  Item seq = Item::MakeSequence({Item::Int64(1), Item::Int64(5)});
+  // some member eq 5 => true
+  EXPECT_EQ(*Eval(Builtin::kEq, {seq, Item::Int64(5)}), Item::Boolean(true));
+  EXPECT_EQ(*Eval(Builtin::kEq, {seq, Item::Int64(9)}),
+            Item::Boolean(false));
+  // Empty sequence compares false against anything.
+  EXPECT_EQ(*Eval(Builtin::kEq, {Item::EmptySequence(), Item::Int64(1)}),
+            Item::Boolean(false));
+}
+
+TEST(FunctionEvalTest, IncomparableTypesError) {
+  EXPECT_FALSE(Eval(Builtin::kLt, {Item::Int64(1), Item::String("1")}).ok());
+}
+
+TEST(FunctionEvalTest, BooleanConnectivesShortCircuit) {
+  EXPECT_EQ(*Eval(Builtin::kAnd, {Item::Boolean(true), Item::Boolean(false)}),
+            Item::Boolean(false));
+  EXPECT_EQ(*Eval(Builtin::kOr, {Item::Boolean(false), Item::Boolean(true)}),
+            Item::Boolean(true));
+  EXPECT_EQ(*Eval(Builtin::kNot, {Item::EmptySequence()}),
+            Item::Boolean(true));
+  // Short-circuit: the right side of `false and X` is never evaluated,
+  // even if it would error.
+  auto err = MakeFunctionEval(Builtin::kLt, {MakeConstantEval(Item::Int64(1)),
+                                             MakeConstantEval(Item::String("x"))});
+  ASSERT_TRUE(err.ok());
+  auto conj = MakeFunctionEval(
+      Builtin::kAnd, {MakeConstantEval(Item::Boolean(false)), *err});
+  ASSERT_TRUE(conj.ok());
+  EvalContext ctx;
+  Tuple empty;
+  auto result = (*conj)->Eval(empty, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, Item::Boolean(false));
+}
+
+TEST(FunctionEvalTest, Arithmetic) {
+  EXPECT_EQ(*Eval(Builtin::kAdd, {Item::Int64(2), Item::Int64(3)}),
+            Item::Int64(5));
+  EXPECT_EQ(*Eval(Builtin::kSub, {Item::Int64(2), Item::Double(0.5)}),
+            Item::Double(1.5));
+  EXPECT_EQ(*Eval(Builtin::kMul, {Item::Int64(4), Item::Int64(5)}),
+            Item::Int64(20));
+  // div always yields a double (XQuery decimal division).
+  EXPECT_EQ(*Eval(Builtin::kDiv, {Item::Int64(7), Item::Int64(2)}),
+            Item::Double(3.5));
+  EXPECT_EQ(*Eval(Builtin::kMod, {Item::Int64(7), Item::Int64(4)}),
+            Item::Int64(3));
+  EXPECT_EQ(*Eval(Builtin::kNeg, {Item::Int64(7)}), Item::Int64(-7));
+}
+
+TEST(FunctionEvalTest, ArithmeticErrors) {
+  EXPECT_FALSE(Eval(Builtin::kDiv, {Item::Int64(1), Item::Int64(0)}).ok());
+  EXPECT_FALSE(Eval(Builtin::kAdd, {Item::Int64(1), Item::String("x")}).ok());
+  // Empty-sequence operands propagate the empty sequence.
+  EXPECT_EQ(Eval(Builtin::kAdd, {Item::EmptySequence(), Item::Int64(1)})
+                ->SequenceLength(),
+            0u);
+}
+
+// ---------------------------------------------------------------------
+// dateTime family
+// ---------------------------------------------------------------------
+
+TEST(FunctionEvalTest, DateTimeFunctions) {
+  Item dt = *Eval(Builtin::kDateTime, {Item::String("20131225T00:00")});
+  ASSERT_TRUE(dt.is_datetime());
+  EXPECT_EQ(*Eval(Builtin::kYearFromDateTime, {dt}), Item::Int64(2013));
+  EXPECT_EQ(*Eval(Builtin::kMonthFromDateTime, {dt}), Item::Int64(12));
+  EXPECT_EQ(*Eval(Builtin::kDayFromDateTime, {dt}), Item::Int64(25));
+  EXPECT_FALSE(Eval(Builtin::kDateTime, {Item::String("garbage")}).ok());
+  EXPECT_FALSE(Eval(Builtin::kYearFromDateTime, {Item::Int64(1)}).ok());
+  // Empty input propagates.
+  EXPECT_EQ(Eval(Builtin::kDateTime, {Item::EmptySequence()})
+                ->SequenceLength(),
+            0u);
+}
+
+// ---------------------------------------------------------------------
+// Scalar aggregates (the pre-rewrite semantics)
+// ---------------------------------------------------------------------
+
+TEST(ScalarAggregateTest, CountSumAvgMinMax) {
+  Item seq = Item::MakeSequence(
+      {Item::Int64(4), Item::Int64(1), Item::Double(2.5)});
+  EXPECT_EQ(*ScalarAggregate(Builtin::kCount, seq), Item::Int64(3));
+  EXPECT_EQ(*ScalarAggregate(Builtin::kSum, seq), Item::Double(7.5));
+  EXPECT_EQ(*ScalarAggregate(Builtin::kAvg, seq), Item::Double(2.5));
+  EXPECT_EQ(*ScalarAggregate(Builtin::kMin, seq), Item::Int64(1));
+  EXPECT_EQ(*ScalarAggregate(Builtin::kMax, seq), Item::Int64(4));
+}
+
+TEST(ScalarAggregateTest, SingletonAndEmpty) {
+  EXPECT_EQ(*ScalarAggregate(Builtin::kCount, Item::Int64(9)),
+            Item::Int64(1));
+  EXPECT_EQ(*ScalarAggregate(Builtin::kCount, Item::EmptySequence()),
+            Item::Int64(0));
+  EXPECT_EQ(*ScalarAggregate(Builtin::kSum, Item::EmptySequence()),
+            Item::Int64(0));
+  EXPECT_EQ(ScalarAggregate(Builtin::kAvg, Item::EmptySequence())
+                ->SequenceLength(),
+            0u);
+  EXPECT_EQ(ScalarAggregate(Builtin::kMin, Item::EmptySequence())
+                ->SequenceLength(),
+            0u);
+}
+
+TEST(ScalarAggregateTest, IntegerSumStaysIntegral) {
+  Item seq = Item::MakeSequence({Item::Int64(1), Item::Int64(2)});
+  Item sum = *ScalarAggregate(Builtin::kSum, seq);
+  EXPECT_TRUE(sum.is_int64());
+  EXPECT_EQ(sum, Item::Int64(3));
+}
+
+TEST(ScalarAggregateTest, NonNumericSumFails) {
+  Item seq = Item::MakeSequence({Item::Int64(1), Item::String("x")});
+  EXPECT_FALSE(ScalarAggregate(Builtin::kSum, seq).ok());
+}
+
+// ---------------------------------------------------------------------
+// Constructors, data(), column refs, arity checking
+// ---------------------------------------------------------------------
+
+TEST(FunctionEvalTest, Constructors) {
+  Item arr = *Eval(Builtin::kArrayConstructor,
+                   {Item::Int64(1),
+                    Item::MakeSequence({Item::Int64(2), Item::Int64(3)})});
+  // Array constructors flatten sequence arguments (JSONiq).
+  ASSERT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.array().size(), 3u);
+
+  Item obj = *Eval(Builtin::kObjectConstructor,
+                   {Item::String("k"), Item::Int64(1)});
+  EXPECT_EQ(*obj.GetField("k"), Item::Int64(1));
+  EXPECT_FALSE(
+      Eval(Builtin::kObjectConstructor, {Item::Int64(1), Item::Int64(2)})
+          .ok());
+}
+
+TEST(FunctionEvalTest, DataAtomizes) {
+  EXPECT_EQ(*Eval(Builtin::kData, {Item::String("x")}), Item::String("x"));
+  EXPECT_FALSE(Eval(Builtin::kData, {Item::MakeObject({})}).ok());
+}
+
+TEST(FunctionEvalTest, ColumnRefReadsTuple) {
+  ScalarEvalPtr col = MakeColumnEval(1);
+  Tuple tuple = {Item::Int64(10), Item::String("hello")};
+  EvalContext ctx;
+  EXPECT_EQ(*col->Eval(tuple, &ctx), Item::String("hello"));
+  // Out-of-range column is an internal error, not UB.
+  ScalarEvalPtr bad = MakeColumnEval(5);
+  EXPECT_FALSE(bad->Eval(tuple, &ctx).ok());
+}
+
+TEST(FunctionEvalTest, ArityChecked) {
+  EXPECT_FALSE(MakeFunctionEval(Builtin::kNot, {}).ok());
+  EXPECT_FALSE(MakeFunctionEval(
+                   Builtin::kEq, {MakeConstantEval(Item::Int64(1))})
+                   .ok());
+}
+
+TEST(FunctionEvalTest, CollectionRequiresCatalog) {
+  EvalContext ctx;  // no catalog
+  EXPECT_FALSE(Eval(Builtin::kCollection, {Item::String("x")}, &ctx).ok());
+}
+
+TEST(FunctionEvalTest, ToStringIsReadable) {
+  auto f = MakeFunctionEval(
+      Builtin::kValue, {MakeColumnEval(0), MakeConstantEval(Item::String("k"))});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ToString(), "value($col0, \"k\")");
+}
+
+}  // namespace
+}  // namespace jpar

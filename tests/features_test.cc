@@ -1,0 +1,298 @@
+// Tests for engine features beyond the paper's core pipeline: the
+// order-by clause, the extended function library, and the path-index
+// extension (the paper's §6 future work).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/sensor_generator.h"
+
+namespace jpar {
+namespace {
+
+Engine MakeEngine(std::vector<std::string> docs,
+                  EngineOptions options = EngineOptions()) {
+  Engine engine(options);
+  Collection c;
+  for (std::string& d : docs) c.files.push_back(JsonFile::FromText(d));
+  engine.catalog()->RegisterCollection("/c", std::move(c));
+  return engine;
+}
+
+std::vector<std::string> Rows(const QueryOutput& out) {
+  std::vector<std::string> rows;
+  for (const Item& i : out.items) rows.push_back(i.ToJsonString());
+  return rows;
+}
+
+// ---------------------------------------------------------------------
+// order by
+// ---------------------------------------------------------------------
+
+TEST(OrderByTest, SortsAscendingByDefault) {
+  Engine engine = MakeEngine({R"({"v": 3})", R"({"v": 1})", R"({"v": 2})"});
+  auto out = engine.Run(R"(
+      for $d in collection("/c")
+      order by $d("v")
+      return $d("v"))");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Rows(*out), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(OrderByTest, Descending) {
+  Engine engine = MakeEngine({R"({"v": 3})", R"({"v": 1})", R"({"v": 2})"});
+  auto out = engine.Run(R"(
+      for $d in collection("/c")
+      order by $d("v") descending
+      return $d("v"))");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Rows(*out), (std::vector<std::string>{"3", "2", "1"}));
+}
+
+TEST(OrderByTest, MultipleKeys) {
+  Engine engine = MakeEngine({R"({"a": "x", "b": 2})", R"({"a": "x", "b": 1})",
+                              R"({"a": "w", "b": 9})"});
+  auto out = engine.Run(R"(
+      for $d in collection("/c")
+      order by $d("a"), $d("b") descending
+      return $d("b"))");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Rows(*out), (std::vector<std::string>{"9", "2", "1"}));
+}
+
+TEST(OrderByTest, SortIsGlobalAcrossPartitions) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 40; ++i) {
+    docs.push_back("{\"v\": " + std::to_string((i * 7) % 40) + "}");
+  }
+  EngineOptions options;
+  options.exec.partitions = 4;
+  Engine engine = MakeEngine(docs, options);
+  auto out = engine.Run(R"(
+      for $d in collection("/c")
+      order by $d("v")
+      return $d("v"))");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->items.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(out->items[static_cast<size_t>(i)], Item::Int64(i));
+  }
+}
+
+TEST(OrderByTest, AfterGroupBy) {
+  Engine engine = MakeEngine({R"({"g": "a"})", R"({"g": "b"})",
+                              R"({"g": "a"})", R"({"g": "a"})"});
+  auto out = engine.Run(R"(
+      for $d in collection("/c")
+      group by $g := $d("g")
+      order by $g descending
+      return $g)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Rows(*out), (std::vector<std::string>{"\"b\"", "\"a\""}));
+}
+
+TEST(OrderByTest, MixedKeyTypesFail) {
+  Engine engine = MakeEngine({R"({"v": 1})", R"({"v": "s"})"});
+  auto out = engine.Run(R"(
+      for $d in collection("/c") order by $d("v") return $d)");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kTypeError);
+}
+
+TEST(OrderByTest, MissingKeysSortFirst) {
+  Engine engine = MakeEngine({R"({"v": 2})", R"({"x": 0})", R"({"v": 1})"});
+  auto out = engine.Run(R"(
+      for $d in collection("/c") order by $d("v") return $d)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->items.size(), 3u);
+  EXPECT_FALSE(out->items[0].GetField("v").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Extended function library (through the full engine)
+// ---------------------------------------------------------------------
+
+TEST(FunctionLibraryTest, StringFunctions) {
+  Engine engine = MakeEngine({R"({"s": "Hello World"})"});
+  struct Case {
+    const char* expr;
+    const char* expected;
+  };
+  const Case cases[] = {
+      {R"(concat("a", "b", 1))", "\"ab1\""},
+      {R"(substring($d("s"), 7))", "\"World\""},
+      {R"(substring($d("s"), 1, 5))", "\"Hello\""},
+      {R"(string-length($d("s")))", "11"},
+      {R"(contains($d("s"), "lo W"))", "true"},
+      {R"(contains($d("s"), "xyz"))", "false"},
+      {R"(starts-with($d("s"), "Hell"))", "true"},
+      {R"(upper-case($d("s")))", "\"HELLO WORLD\""},
+      {R"(lower-case($d("s")))", "\"hello world\""},
+      {R"(string(42))", "\"42\""},
+  };
+  for (const Case& c : cases) {
+    std::string query = std::string("for $d in collection(\"/c\") return ") +
+                        c.expr;
+    auto out = engine.Run(query);
+    ASSERT_TRUE(out.ok()) << c.expr << ": " << out.status().ToString();
+    ASSERT_EQ(out->items.size(), 1u) << c.expr;
+    EXPECT_EQ(out->items[0].ToJsonString(), c.expected) << c.expr;
+  }
+}
+
+TEST(FunctionLibraryTest, NumericFunctions) {
+  Engine engine = MakeEngine({R"({"v": -2.5})"});
+  struct Case {
+    const char* expr;
+    double expected;
+  };
+  const Case cases[] = {
+      {R"(abs($d("v")))", 2.5},
+      {R"(floor($d("v")))", -3.0},
+      {R"(ceiling($d("v")))", -2.0},
+      {R"(round($d("v")))", -2.0},  // round-half-up toward +inf
+      {R"(abs(-7))", 7.0},
+  };
+  for (const Case& c : cases) {
+    std::string query = std::string("for $d in collection(\"/c\") return ") +
+                        c.expr;
+    auto out = engine.Run(query);
+    ASSERT_TRUE(out.ok()) << c.expr << ": " << out.status().ToString();
+    EXPECT_DOUBLE_EQ(out->items[0].AsDouble(), c.expected) << c.expr;
+  }
+}
+
+TEST(FunctionLibraryTest, SequencePredicates) {
+  Engine engine = MakeEngine({R"({"list": [1, 2, 2, 3], "none": []})"});
+  auto out = engine.Run(R"(
+      for $d in collection("/c")
+      return count(distinct-values($d("list")())))");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->items[0], Item::Int64(3));
+
+  out = engine.Run(R"(
+      for $d in collection("/c")
+      where exists($d("list")()) and empty($d("none")())
+      return boolean($d("list")))");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->items.size(), 1u);
+  EXPECT_EQ(out->items[0], Item::Boolean(true));
+}
+
+// ---------------------------------------------------------------------
+// Path index (paper §6 future work)
+// ---------------------------------------------------------------------
+
+class PathIndexTest : public ::testing::Test {
+ protected:
+  static SensorDataSpec Spec() {
+    SensorDataSpec spec;
+    spec.chronological = true;  // temporal locality => selective index
+    spec.num_files = 16;
+    spec.records_per_file = 8;
+    spec.measurements_per_array = 6;
+    spec.start_year = 2013;
+    spec.end_year = 2014;
+    return spec;
+  }
+
+  static std::vector<PathStep> DatePath() {
+    return {PathStep::Key("root"), PathStep::KeysOrMembers(),
+            PathStep::Key("results"), PathStep::KeysOrMembers(),
+            PathStep::Key("date")};
+  }
+
+  static constexpr const char* kQuery = R"(
+      for $r in collection("/sensors")("root")()("results")()
+      where $r("date") eq "20130105T00:00"
+      return $r)";
+};
+
+TEST_F(PathIndexTest, IndexedScanPrunesFilesAndAgreesWithFullScan) {
+  Collection data = GenerateSensorCollection(Spec());
+
+  EngineOptions plain_options;
+  Engine plain(plain_options);
+  plain.catalog()->RegisterCollection("/sensors", data);
+  auto expected = plain.Run(kQuery);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_GT(expected->items.size(), 0u) << "query matched nothing";
+
+  EngineOptions indexed_options;
+  indexed_options.rules.index_rules = true;
+  Engine indexed(indexed_options);
+  indexed.catalog()->RegisterCollection("/sensors", data);
+  ASSERT_TRUE(
+      indexed.catalog()->BuildPathIndex("/sensors", DatePath()).ok());
+
+  auto compiled = indexed.Compile(kQuery);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_NE(compiled->optimized_plan.find("[index:"), std::string::npos)
+      << compiled->optimized_plan;
+  EXPECT_NE(std::find(compiled->fired_rules.begin(),
+                      compiled->fired_rules.end(), "use-path-index"),
+            compiled->fired_rules.end());
+
+  auto result = indexed.Execute(*compiled);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::multiset<std::string> a, b;
+  for (const Item& i : expected->items) a.insert(i.ToJsonString());
+  for (const Item& i : result->items) b.insert(i.ToJsonString());
+  EXPECT_EQ(a, b);
+  // Chronological files: the target date lives in one file, so the
+  // indexed scan reads far less.
+  EXPECT_LT(result->stats.bytes_scanned,
+            expected->stats.bytes_scanned / 4);
+}
+
+TEST_F(PathIndexTest, RuleNeedsTheIndex) {
+  Collection data = GenerateSensorCollection(Spec());
+  EngineOptions options;
+  options.rules.index_rules = true;
+  Engine engine(options);
+  engine.catalog()->RegisterCollection("/sensors", data);
+  // No BuildPathIndex call: the rule must not fire.
+  auto compiled = engine.Compile(kQuery);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->optimized_plan.find("[index:"), std::string::npos);
+}
+
+TEST_F(PathIndexTest, UnseenValuePrunesEverything) {
+  Collection data = GenerateSensorCollection(Spec());
+  EngineOptions options;
+  options.rules.index_rules = true;
+  Engine engine(options);
+  engine.catalog()->RegisterCollection("/sensors", data);
+  ASSERT_TRUE(engine.catalog()->BuildPathIndex("/sensors", DatePath()).ok());
+  auto out = engine.Run(R"(
+      for $r in collection("/sensors")("root")()("results")()
+      where $r("date") eq "19990101T00:00"
+      return $r)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->items.empty());
+  EXPECT_EQ(out->stats.bytes_scanned, 0u);
+}
+
+TEST_F(PathIndexTest, LookupApi) {
+  Catalog catalog;
+  Collection c;
+  c.files.push_back(JsonFile::FromText(R"({"k": "a"})"));
+  c.files.push_back(JsonFile::FromText(R"({"k": "b"})"));
+  c.files.push_back(JsonFile::FromText(R"({"k": "a"})"));
+  catalog.RegisterCollection("c", std::move(c));
+  std::vector<PathStep> path = {PathStep::Key("k")};
+  EXPECT_FALSE(catalog.HasPathIndex("c", path));
+  EXPECT_EQ(catalog.LookupPathIndex("c", path, Item::String("a")), nullptr);
+  ASSERT_TRUE(catalog.BuildPathIndex("c", path).ok());
+  EXPECT_TRUE(catalog.HasPathIndex("c", path));
+  const std::vector<int>* files =
+      catalog.LookupPathIndex("c", path, Item::String("a"));
+  ASSERT_NE(files, nullptr);
+  EXPECT_EQ(*files, (std::vector<int>{0, 2}));
+  files = catalog.LookupPathIndex("c", path, Item::String("zzz"));
+  ASSERT_NE(files, nullptr);
+  EXPECT_TRUE(files->empty());
+}
+
+}  // namespace
+}  // namespace jpar

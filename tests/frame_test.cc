@@ -1,0 +1,106 @@
+#include "runtime/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace jpar {
+namespace {
+
+Tuple MakeTuple(std::initializer_list<Item> items) { return Tuple(items); }
+
+std::vector<Tuple> ReadAll(const std::vector<Frame>& frames) {
+  FrameReader reader(frames);
+  std::vector<Tuple> out;
+  Tuple t;
+  while (true) {
+    auto more = reader.Next(&t);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+TEST(FrameTest, RoundTripTuples) {
+  FrameBuilder builder(1024);
+  std::vector<Tuple> tuples = {
+      MakeTuple({Item::Int64(1), Item::String("a")}),
+      MakeTuple({Item::Null()}),
+      MakeTuple({}),
+      MakeTuple({Item::MakeArray({Item::Boolean(true)}),
+                 Item::Double(2.5), Item::Int64(-7)}),
+  };
+  for (const Tuple& t : tuples) builder.Append(t);
+  std::vector<Frame> frames = builder.Finish();
+  std::vector<Tuple> back = ReadAll(frames);
+  ASSERT_EQ(back.size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    ASSERT_EQ(back[i].size(), tuples[i].size());
+    for (size_t c = 0; c < tuples[i].size(); ++c) {
+      EXPECT_TRUE(back[i][c].Equals(tuples[i][c]));
+    }
+  }
+}
+
+TEST(FrameTest, SplitsAtTargetSize) {
+  FrameBuilder builder(256);
+  for (int i = 0; i < 100; ++i) {
+    builder.Append(MakeTuple({Item::String(std::string(40, 'x'))}));
+  }
+  std::vector<Frame> frames = builder.Finish();
+  EXPECT_GT(frames.size(), 10u);
+  for (size_t i = 0; i + 1 < frames.size(); ++i) {
+    // Every sealed frame crossed the target, but only by one tuple.
+    EXPECT_GE(frames[i].bytes.size(), 256u);
+    EXPECT_LT(frames[i].bytes.size(), 256u + 64u);
+  }
+  EXPECT_EQ(ReadAll(frames).size(), 100u);
+}
+
+TEST(FrameTest, OversizedTupleGetsItsOwnFrameAndIsCounted) {
+  FrameBuilder builder(128);
+  builder.Append(MakeTuple({Item::String("small")}));
+  builder.Append(MakeTuple({Item::String(std::string(1000, 'y'))}));
+  builder.Append(MakeTuple({Item::String("small2")}));
+  EXPECT_EQ(builder.oversized_frames(), 1u);
+  EXPECT_GT(builder.max_tuple_bytes(), 1000u);
+  std::vector<Frame> frames = builder.Finish();
+  EXPECT_EQ(ReadAll(frames).size(), 3u);
+}
+
+TEST(FrameTest, CountsBytesAndTuples) {
+  FrameBuilder builder(1 << 20);
+  builder.Append(MakeTuple({Item::Int64(1)}));
+  builder.Append(MakeTuple({Item::Int64(2)}));
+  EXPECT_EQ(builder.tuple_count(), 2u);
+  EXPECT_GT(builder.total_bytes(), 0u);
+  std::vector<Frame> frames = builder.Finish();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].tuple_count, 2u);
+}
+
+TEST(FrameTest, EmptyBuilderYieldsNoFrames) {
+  FrameBuilder builder(1024);
+  EXPECT_TRUE(builder.Finish().empty());
+}
+
+TEST(FrameTest, ReaderHandlesEmptyFrameList) {
+  std::vector<Frame> frames;
+  FrameReader reader(frames);
+  Tuple t;
+  auto more = reader.Next(&t);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(FrameTest, CorruptFrameReportsError) {
+  Frame corrupt;
+  corrupt.bytes = "\x02\xff\xff";  // arity 2, garbage items
+  corrupt.tuple_count = 1;
+  std::vector<Frame> frames = {corrupt};
+  FrameReader reader(frames);
+  Tuple t;
+  EXPECT_FALSE(reader.Next(&t).ok());
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,140 @@
+#include "data/sensor_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "json/parser.h"
+
+namespace jpar {
+namespace {
+
+TEST(SensorGeneratorTest, ProducesValidStructuredJson) {
+  SensorDataSpec spec;
+  spec.records_per_file = 5;
+  spec.measurements_per_array = 7;
+  std::string text = GenerateSensorFile(spec, 0);
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const Item& root = *doc->GetField("root");
+  ASSERT_TRUE(root.is_array());
+  ASSERT_EQ(root.array().size(), 5u);
+  for (const Item& record : root.array()) {
+    // Listing 6's structure: metadata{count} + results[...].
+    const Item& metadata = *record.GetField("metadata");
+    EXPECT_EQ(*metadata.GetField("count"), Item::Int64(7));
+    const Item& results = *record.GetField("results");
+    ASSERT_TRUE(results.is_array());
+    ASSERT_EQ(results.array().size(), 7u);
+    for (const Item& m : results.array()) {
+      EXPECT_TRUE(m.GetField("date")->is_string());
+      EXPECT_TRUE(m.GetField("dataType")->is_string());
+      EXPECT_TRUE(m.GetField("station")->is_string());
+      EXPECT_TRUE(m.GetField("value")->is_int64());
+      EXPECT_EQ(m.GetField("station")->string_value().substr(0, 3), "GSW");
+    }
+  }
+}
+
+TEST(SensorGeneratorTest, DeterministicForSameSeed) {
+  SensorDataSpec spec;
+  spec.seed = 99;
+  EXPECT_EQ(GenerateSensorFile(spec, 3), GenerateSensorFile(spec, 3));
+  SensorDataSpec other = spec;
+  other.seed = 100;
+  EXPECT_NE(GenerateSensorFile(spec, 3), GenerateSensorFile(other, 3));
+  EXPECT_NE(GenerateSensorFile(spec, 0), GenerateSensorFile(spec, 1));
+}
+
+TEST(SensorGeneratorTest, DatesWithinConfiguredRange) {
+  SensorDataSpec spec;
+  spec.start_year = 2010;
+  spec.end_year = 2012;
+  spec.records_per_file = 4;
+  std::string text = GenerateSensorFile(spec, 0);
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok());
+  for (const Item& record : doc->GetField("root")->array()) {
+    for (const Item& m : record.GetField("results")->array()) {
+      std::string year = m.GetField("date")->string_value().substr(0, 4);
+      EXPECT_GE(year, "2010");
+      EXPECT_LE(year, "2012");
+      // Dates parse with the engine's dateTime().
+      EXPECT_TRUE(
+          ParseDateTime(m.GetField("date")->string_value()).ok());
+    }
+  }
+}
+
+TEST(SensorGeneratorTest, StationsBounded) {
+  SensorDataSpec spec;
+  spec.num_stations = 3;
+  spec.records_per_file = 20;
+  std::string text = GenerateSensorFile(spec, 0);
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok());
+  std::set<std::string> stations;
+  for (const Item& record : doc->GetField("root")->array()) {
+    for (const Item& m : record.GetField("results")->array()) {
+      stations.insert(m.GetField("station")->string_value());
+    }
+  }
+  EXPECT_LE(stations.size(), 3u);
+}
+
+TEST(SensorGeneratorTest, SpecForBytesHitsTarget) {
+  SensorDataSpec spec;
+  spec = SpecForBytes(spec, 2 * 1024 * 1024);
+  auto coll = GenerateSensorCollection(spec);
+  uint64_t total = *coll.TotalBytes();
+  EXPECT_GT(total, 1 * 1024 * 1024u);
+  EXPECT_LT(total, 4 * 1024 * 1024u);
+  EXPECT_EQ(coll.files.size(), static_cast<size_t>(spec.num_files));
+}
+
+TEST(SensorGeneratorTest, ApproxBytesCloseToActual) {
+  SensorDataSpec spec;
+  spec.num_files = 2;
+  spec.records_per_file = 10;
+  auto coll = GenerateSensorCollection(spec);
+  double actual = static_cast<double>(*coll.TotalBytes());
+  double approx = static_cast<double>(spec.ApproxBytes());
+  EXPECT_GT(approx / actual, 0.7);
+  EXPECT_LT(approx / actual, 1.4);
+}
+
+TEST(SensorGeneratorTest, UnwrappedDocumentsMatchWrappedContent) {
+  // Fig. 18 depends on both layouts containing the same measurements.
+  SensorDataSpec spec;
+  spec.records_per_file = 6;
+  std::string wrapped = GenerateSensorFile(spec, 2);
+  std::vector<std::string> docs = GenerateUnwrappedDocuments(spec, 2);
+  ASSERT_EQ(docs.size(), 6u);
+  auto wrapped_doc = ParseJson(wrapped);
+  ASSERT_TRUE(wrapped_doc.ok());
+  const Item::ItemVector& records = wrapped_doc->GetField("root")->array();
+  for (size_t i = 0; i < docs.size(); ++i) {
+    auto unwrapped = ParseJson(docs[i]);
+    ASSERT_TRUE(unwrapped.ok());
+    EXPECT_TRUE(unwrapped->Equals(records[i])) << i;
+  }
+}
+
+TEST(SensorGeneratorTest, TypeMixContainsTminAndTmax) {
+  // Q1/Q2 need both TMIN and TMAX to be present.
+  SensorDataSpec spec;
+  spec.records_per_file = 10;
+  auto doc = ParseJson(GenerateSensorFile(spec, 0));
+  ASSERT_TRUE(doc.ok());
+  std::set<std::string> types;
+  for (const Item& record : doc->GetField("root")->array()) {
+    for (const Item& m : record.GetField("results")->array()) {
+      types.insert(m.GetField("dataType")->string_value());
+    }
+  }
+  EXPECT_TRUE(types.count("TMIN"));
+  EXPECT_TRUE(types.count("TMAX"));
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,169 @@
+#include "json/item.h"
+
+#include <gtest/gtest.h>
+
+namespace jpar {
+namespace {
+
+TEST(ItemTest, DefaultIsNull) {
+  Item item;
+  EXPECT_TRUE(item.is_null());
+  EXPECT_TRUE(item.is_atomic());
+  EXPECT_EQ(item.ToJsonString(), "null");
+}
+
+TEST(ItemTest, Scalars) {
+  EXPECT_EQ(Item::Boolean(true).ToJsonString(), "true");
+  EXPECT_EQ(Item::Boolean(false).ToJsonString(), "false");
+  EXPECT_EQ(Item::Int64(-42).ToJsonString(), "-42");
+  EXPECT_EQ(Item::Double(2.5).ToJsonString(), "2.5");
+  EXPECT_EQ(Item::String("hi").ToJsonString(), "\"hi\"");
+}
+
+TEST(ItemTest, IntegralDoubleRendersWithFraction) {
+  // Keeps doubles distinguishable from ints in serialized output.
+  EXPECT_EQ(Item::Double(3.0).ToJsonString(), "3.0");
+}
+
+TEST(ItemTest, StringEscaping) {
+  EXPECT_EQ(Item::String("a\"b\\c\nd").ToJsonString(),
+            "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Item::String(std::string("\x01", 1)).ToJsonString(),
+            "\"\\u0001\"");
+}
+
+TEST(ItemTest, ArraysAndObjects) {
+  Item arr = Item::MakeArray({Item::Int64(1), Item::String("two")});
+  EXPECT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.ToJsonString(), "[1,\"two\"]");
+
+  Item obj = Item::MakeObject(
+      {{"a", Item::Int64(1)}, {"b", Item::MakeArray({Item::Null()})}});
+  EXPECT_TRUE(obj.is_object());
+  EXPECT_EQ(obj.ToJsonString(), "{\"a\":1,\"b\":[null]}");
+}
+
+TEST(ItemTest, GetField) {
+  Item obj = Item::MakeObject({{"x", Item::Int64(5)}});
+  ASSERT_TRUE(obj.GetField("x").has_value());
+  EXPECT_EQ(*obj.GetField("x"), Item::Int64(5));
+  EXPECT_FALSE(obj.GetField("y").has_value());
+  EXPECT_FALSE(Item::Int64(1).GetField("x").has_value());
+}
+
+TEST(ItemTest, SequenceFlattening) {
+  Item inner = Item::MakeSequence({Item::Int64(2), Item::Int64(3)});
+  Item flat = Item::MakeSequence({Item::Int64(1), inner, Item::Int64(4)});
+  ASSERT_TRUE(flat.is_sequence());
+  ASSERT_EQ(flat.sequence().size(), 4u);
+  EXPECT_EQ(flat.sequence()[2], Item::Int64(3));
+}
+
+TEST(ItemTest, SingletonSequenceCollapses) {
+  Item s = Item::MakeSequence({Item::String("only")});
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.string_value(), "only");
+}
+
+TEST(ItemTest, EmptySequence) {
+  Item empty = Item::EmptySequence();
+  EXPECT_TRUE(empty.is_sequence());
+  EXPECT_EQ(empty.SequenceLength(), 0u);
+  EXPECT_EQ(Item::MakeSequence({}).SequenceLength(), 0u);
+}
+
+TEST(ItemTest, NumericEqualityAcrossKinds) {
+  EXPECT_TRUE(Item::Int64(1).Equals(Item::Double(1.0)));
+  EXPECT_FALSE(Item::Int64(1).Equals(Item::Double(1.5)));
+  EXPECT_FALSE(Item::Int64(1).Equals(Item::String("1")));
+}
+
+TEST(ItemTest, DeepEquality) {
+  auto make = [] {
+    return Item::MakeObject(
+        {{"a", Item::MakeArray({Item::Int64(1), Item::Int64(2)})},
+         {"b", Item::String("x")}});
+  };
+  EXPECT_TRUE(make().Equals(make()));
+  Item other = Item::MakeObject(
+      {{"a", Item::MakeArray({Item::Int64(1), Item::Int64(3)})},
+       {"b", Item::String("x")}});
+  EXPECT_FALSE(make().Equals(other));
+}
+
+TEST(ItemTest, ObjectEqualityIsOrderSensitive) {
+  // JSONiq objects preserve insertion order; equality follows it.
+  Item a = Item::MakeObject({{"x", Item::Int64(1)}, {"y", Item::Int64(2)}});
+  Item b = Item::MakeObject({{"y", Item::Int64(2)}, {"x", Item::Int64(1)}});
+  EXPECT_FALSE(a.Equals(b));
+}
+
+TEST(ItemTest, CompareNumbersStringsDatesBooleans) {
+  EXPECT_EQ(*Item::Int64(1).Compare(Item::Double(2.0)), -1);
+  EXPECT_EQ(*Item::Double(2.0).Compare(Item::Int64(2)), 0);
+  EXPECT_EQ(*Item::String("b").Compare(Item::String("a")), 1);
+  EXPECT_EQ(*Item::Boolean(false).Compare(Item::Boolean(true)), -1);
+  DateTimeValue d1{2003, 12, 25, 0, 0, 0};
+  DateTimeValue d2{2004, 1, 1, 0, 0, 0};
+  EXPECT_EQ(*Item::DateTime(d1).Compare(Item::DateTime(d2)), -1);
+}
+
+TEST(ItemTest, CompareIncompatibleKindsFails) {
+  EXPECT_FALSE(Item::Int64(1).Compare(Item::String("1")).ok());
+  EXPECT_FALSE(Item::MakeArray({}).Compare(Item::MakeArray({})).ok());
+}
+
+TEST(ItemTest, EffectiveBooleanValue) {
+  EXPECT_FALSE(*Item::Null().EffectiveBooleanValue());
+  EXPECT_FALSE(*Item::Boolean(false).EffectiveBooleanValue());
+  EXPECT_TRUE(*Item::Boolean(true).EffectiveBooleanValue());
+  EXPECT_FALSE(*Item::Int64(0).EffectiveBooleanValue());
+  EXPECT_TRUE(*Item::Int64(-1).EffectiveBooleanValue());
+  EXPECT_FALSE(*Item::String("").EffectiveBooleanValue());
+  EXPECT_TRUE(*Item::String("x").EffectiveBooleanValue());
+  EXPECT_FALSE(*Item::EmptySequence().EffectiveBooleanValue());
+  EXPECT_TRUE(*Item::MakeArray({}).EffectiveBooleanValue());
+  EXPECT_TRUE(*Item::MakeObject({}).EffectiveBooleanValue());
+  // Multi-item sequences have no EBV (dynamic error).
+  Item multi = Item::MakeSequence({Item::Int64(1), Item::Int64(2)});
+  EXPECT_FALSE(multi.EffectiveBooleanValue().ok());
+}
+
+TEST(ItemTest, SequenceSerializationJoinsMembers) {
+  Item seq = Item::MakeSequence({Item::Int64(1), Item::String("a")});
+  EXPECT_EQ(seq.ToJsonString(), "1, \"a\"");
+}
+
+TEST(ItemTest, EstimateSizeGrowsWithPayload) {
+  Item small = Item::String("x");
+  Item big = Item::String(std::string(1000, 'x'));
+  EXPECT_GT(big.EstimateSizeBytes(), small.EstimateSizeBytes() + 900);
+  Item nested = Item::MakeArray({big, big});
+  EXPECT_GT(nested.EstimateSizeBytes(), 2 * big.EstimateSizeBytes() - 1);
+}
+
+TEST(ItemTest, GroupKeyDistinguishesKinds) {
+  std::string k1, k2, k3;
+  Item::Int64(1).AppendGroupKeyTo(&k1);
+  Item::String("1").AppendGroupKeyTo(&k2);
+  Item::Boolean(true).AppendGroupKeyTo(&k3);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+}
+
+TEST(ItemTest, GroupKeyNumericPromotion) {
+  // Int 1 and double 1.0 must group together (they compare equal).
+  std::string k1, k2;
+  Item::Int64(1).AppendGroupKeyTo(&k1);
+  Item::Double(1.0).AppendGroupKeyTo(&k2);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(ItemTest, CopyIsShallowAndCheap) {
+  Item big = Item::MakeArray(Item::ItemVector(1000, Item::Int64(7)));
+  Item copy = big;
+  EXPECT_EQ(&big.array(), &copy.array());  // shared payload
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,116 @@
+#include "jsoniq/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace jpar {
+namespace {
+
+std::vector<Token> Lex(std::string_view q) {
+  auto tokens = Tokenize(q);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return *tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NamesAndVariables) {
+  std::vector<Token> tokens = Lex("for $x in collection");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsName("for"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_TRUE(tokens[2].IsName("in"));
+  EXPECT_TRUE(tokens[3].IsName("collection"));
+}
+
+TEST(LexerTest, HyphenatedNames) {
+  // XQuery function names contain hyphens; subtraction needs spacing.
+  std::vector<Token> tokens = Lex("year-from-dateTime($d) - 1");
+  EXPECT_TRUE(tokens[0].IsName("year-from-dateTime"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, UnderscoredVariables) {
+  std::vector<Token> tokens = Lex("$r_min $r_max");
+  EXPECT_EQ(tokens[0].text, "r_min");
+  EXPECT_EQ(tokens[1].text, "r_max");
+}
+
+TEST(LexerTest, StringLiterals) {
+  std::vector<Token> tokens = Lex(R"("hello" 'single' "do""ble" "es\tc")");
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "single");
+  EXPECT_EQ(tokens[2].text, "do\"ble");  // doubled-quote escape
+  EXPECT_EQ(tokens[3].text, "es\tc");
+}
+
+TEST(LexerTest, Numbers) {
+  std::vector<Token> tokens = Lex("42 2.5 1e3 10");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 2.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_EQ(tokens[3].int_value, 10);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  std::vector<Token> tokens = Lex(":= = != < <= > >= + - * , : ( ) { } [ ]");
+  TokenKind expected[] = {
+      TokenKind::kBind,   TokenKind::kEq,     TokenKind::kNe,
+      TokenKind::kLt,     TokenKind::kLe,     TokenKind::kGt,
+      TokenKind::kGe,     TokenKind::kPlus,   TokenKind::kMinus,
+      TokenKind::kStar,   TokenKind::kComma,  TokenKind::kColon,
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+      TokenKind::kRBrace, TokenKind::kLBracket, TokenKind::kRBracket,
+      TokenKind::kEnd};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, XQueryComments) {
+  std::vector<Token> tokens = Lex("1 (: a comment (: nested :) :) 2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].int_value, 1);
+  EXPECT_EQ(tokens[1].int_value, 2);
+}
+
+TEST(LexerTest, ErrorCases) {
+  EXPECT_FALSE(Tokenize("$").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("#").ok());
+  EXPECT_FALSE(Tokenize("(: never closed").ok());
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  std::vector<Token> tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, FullPaperQueryLexes) {
+  auto tokens = Tokenize(R"(
+    for $r in collection("/sensors")("root")()("results")()
+    let $datetime := dateTime(data($r("date")))
+    where year-from-dateTime($datetime) ge 2003
+      and month-from-dateTime($datetime) eq 12
+    group by $date := $r("date")
+    return count($r("station")))");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_GT(tokens->size(), 50u);
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,174 @@
+#include "runtime/operators.h"
+
+#include <gtest/gtest.h>
+
+namespace jpar {
+namespace {
+
+std::vector<Tuple> RunOps(const std::vector<UnaryOpDesc>& ops, Tuple seed) {
+  std::vector<Tuple> out;
+  EvalContext ctx;
+  Status st = RunChain(ops, 0, std::move(seed), &ctx, [&](Tuple t) {
+    out.push_back(std::move(t));
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(OperatorsTest, EmptyChainPassesThrough) {
+  std::vector<Tuple> out = RunOps({}, {Item::Int64(1)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], Item::Int64(1));
+}
+
+TEST(OperatorsTest, AssignAppendsColumn) {
+  auto eval = MakeFunctionEval(
+      Builtin::kAdd, {MakeColumnEval(0), MakeConstantEval(Item::Int64(10))});
+  ASSERT_TRUE(eval.ok());
+  std::vector<Tuple> out =
+      RunOps({UnaryOpDesc::Assign(*eval)}, {Item::Int64(5)});
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[0][1], Item::Int64(15));
+}
+
+TEST(OperatorsTest, SelectFilters) {
+  auto pred = MakeFunctionEval(
+      Builtin::kGt, {MakeColumnEval(0), MakeConstantEval(Item::Int64(3))});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(RunOps({UnaryOpDesc::Select(*pred)}, {Item::Int64(5)}).size(), 1u);
+  EXPECT_EQ(RunOps({UnaryOpDesc::Select(*pred)}, {Item::Int64(2)}).size(), 0u);
+}
+
+TEST(OperatorsTest, UnnestExplodesSequences) {
+  std::vector<UnaryOpDesc> ops = {UnaryOpDesc::Unnest(MakeColumnEval(0))};
+  Item seq = Item::MakeSequence(
+      {Item::Int64(1), Item::Int64(2), Item::Int64(3)});
+  std::vector<Tuple> out = RunOps(ops, {seq});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1][1], Item::Int64(2));
+  // Non-sequence unnests as a singleton; empty sequence drops the tuple.
+  EXPECT_EQ(RunOps(ops, {Item::Int64(9)}).size(), 1u);
+  EXPECT_EQ(RunOps(ops, {Item::EmptySequence()}).size(), 0u);
+}
+
+TEST(OperatorsTest, ProjectReordersColumns) {
+  std::vector<UnaryOpDesc> ops = {UnaryOpDesc::Project({2, 0})};
+  std::vector<Tuple> out =
+      RunOps(ops, {Item::Int64(1), Item::Int64(2), Item::Int64(3)});
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[0][0], Item::Int64(3));
+  EXPECT_EQ(out[0][1], Item::Int64(1));
+}
+
+TEST(OperatorsTest, ProjectOutOfRangeFails) {
+  EvalContext ctx;
+  Status st = RunChain({UnaryOpDesc::Project({7})}, 0, {Item::Int64(1)},
+                       &ctx, [](Tuple) { return Status::OK(); });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(OperatorsTest, ChainComposition) {
+  // UNNEST -> ASSIGN (+100) -> SELECT (even sums only).
+  auto plus = MakeFunctionEval(
+      Builtin::kAdd, {MakeColumnEval(1), MakeConstantEval(Item::Int64(100))});
+  auto is_even = MakeFunctionEval(
+      Builtin::kEq,
+      {MakeFunctionEval(Builtin::kMod, {MakeColumnEval(2),
+                                        MakeConstantEval(Item::Int64(2))})
+           .ValueOrDie(),
+       MakeConstantEval(Item::Int64(0))});
+  std::vector<UnaryOpDesc> ops = {UnaryOpDesc::Unnest(MakeColumnEval(0)),
+                                  UnaryOpDesc::Assign(*plus),
+                                  UnaryOpDesc::Select(*is_even)};
+  Item seq = Item::MakeSequence(
+      {Item::Int64(1), Item::Int64(2), Item::Int64(3), Item::Int64(4)});
+  std::vector<Tuple> out = RunOps(ops, {seq});
+  ASSERT_EQ(out.size(), 2u);  // 102 and 104
+  EXPECT_EQ(out[0][2], Item::Int64(102));
+  EXPECT_EQ(out[1][2], Item::Int64(104));
+}
+
+TEST(OperatorsTest, SubplanAggregatesPerTuple) {
+  // SUBPLAN { UNNEST iterate($0); AGGREGATE count($1) } — Fig. 11.
+  auto subplan = std::make_shared<SubplanDesc>();
+  subplan->ops.push_back(UnaryOpDesc::Unnest(MakeColumnEval(0)));
+  AggSpec spec;
+  spec.kind = AggKind::kCount;
+  spec.arg = MakeColumnEval(1);
+  subplan->aggs.push_back(spec);
+
+  std::vector<UnaryOpDesc> ops = {UnaryOpDesc::Subplan(subplan)};
+  Item seq = Item::MakeSequence(
+      {Item::Int64(1), Item::Int64(2), Item::Int64(3)});
+  std::vector<Tuple> out = RunOps(ops, {seq});
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].size(), 2u);  // seed ++ count
+  EXPECT_EQ(out[0][1], Item::Int64(3));
+
+  // An empty sequence yields count 0 (the aggregate still runs).
+  out = RunOps(ops, {Item::EmptySequence()});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][1], Item::Int64(0));
+}
+
+TEST(OperatorsTest, BoundaryChargingTracksBytes) {
+  EvalContext ctx;
+  std::vector<UnaryOpDesc> ops = {UnaryOpDesc::Unnest(MakeColumnEval(0))};
+  Item seq = Item::MakeSequence(
+      {Item::String(std::string(500, 'x')), Item::String("y")});
+  Status st = RunChain(ops, 0, {seq}, &ctx,
+                       [](Tuple) { return Status::OK(); });
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(ctx.boundary_tuples, 0u);
+  // The seed tuple carried the whole sequence: max tuple >= 500 bytes.
+  EXPECT_GT(ctx.max_tuple_bytes, 500u);
+  EXPECT_GT(ctx.boundary_bytes, 500u);
+
+  // Charging can be disabled.
+  EvalContext off;
+  off.charge_boundaries = false;
+  st = RunChain(ops, 0, {seq}, &off, [](Tuple) { return Status::OK(); });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(off.boundary_tuples, 0u);
+}
+
+TEST(OperatorsTest, ErrorsPropagateFromEvaluators) {
+  auto bad = MakeFunctionEval(
+      Builtin::kLt, {MakeColumnEval(0), MakeConstantEval(Item::String("x"))});
+  ASSERT_TRUE(bad.ok());
+  EvalContext ctx;
+  Status st = RunChain({UnaryOpDesc::Select(*bad)}, 0, {Item::Int64(1)},
+                       &ctx, [](Tuple) { return Status::OK(); });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST(OperatorsTest, SinkErrorsStopTheChain) {
+  std::vector<UnaryOpDesc> ops = {UnaryOpDesc::Unnest(MakeColumnEval(0))};
+  Item seq = Item::MakeSequence({Item::Int64(1), Item::Int64(2)});
+  int calls = 0;
+  EvalContext ctx;
+  Status st = RunChain(ops, 0, {seq}, &ctx, [&](Tuple) -> Status {
+    ++calls;
+    return Status::Internal("sink full");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(OperatorsTest, DescriptorsPrint) {
+  EXPECT_EQ(UnaryOpDesc::Assign(MakeColumnEval(0)).ToString(),
+            "ASSIGN $col0");
+  EXPECT_EQ(UnaryOpDesc::Project({0, 2}).ToString(), "PROJECT $col0, $col2");
+  ScanDesc scan;
+  scan.kind = ScanDesc::Kind::kDataScan;
+  scan.collection = "c";
+  scan.steps = {PathStep::Key("a"), PathStep::KeysOrMembers()};
+  EXPECT_EQ(scan.ToString(), "DATASCAN collection(\"c\")(\"a\")()");
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,334 @@
+// Rule-by-rule tests of the paper's rewrite transformations: each rule
+// is applied in isolation (or in its category) and the resulting plan
+// shape is asserted against the paper's figures.
+
+#include "algebra/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "jsoniq/parser.h"
+#include "jsoniq/translator.h"
+
+namespace jpar {
+namespace {
+
+LogicalPlan Plan(std::string_view query) {
+  auto ast = ParseQuery(query);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto plan = TranslateToLogical(*ast);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+std::vector<std::string> Rewrite(LogicalPlan* plan, RuleOptions options) {
+  RewriteEngine engine(options);
+  auto fired = engine.Rewrite(plan);
+  EXPECT_TRUE(fired.ok()) << fired.status().ToString();
+  return fired.ok() ? *fired : std::vector<std::string>{};
+}
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------
+// Path expression rules (Figs. 3 -> 4)
+// ---------------------------------------------------------------------
+
+TEST(PathRulesTest, RemovesPromoteAndData) {
+  LogicalPlan plan = Plan(R"(json-doc("books.json")("bookstore")())");
+  ASSERT_NE(plan.ToString().find("promote"), std::string::npos);
+  RuleOptions options = RuleOptions::None();
+  options.path_rules = true;
+  std::vector<std::string> fired = Rewrite(&plan, options);
+  std::string text = plan.ToString();
+  EXPECT_EQ(text.find("promote"), std::string::npos) << text;
+  EXPECT_EQ(text.find("data("), std::string::npos) << text;
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "remove-promote-data"),
+            fired.end());
+}
+
+TEST(PathRulesTest, MergesKeysOrMembersIntoUnnest) {
+  // Fig. 4: UNNEST iterate over ASSIGN keys-or-members fuses into
+  // UNNEST keys-or-members.
+  LogicalPlan plan = Plan(R"(collection("/books")("bookstore")("book")())");
+  RuleOptions options = RuleOptions::None();
+  options.path_rules = true;
+  Rewrite(&plan, options);
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("UNNEST"), std::string::npos);
+  // The fused form: UNNEST $v <- keys-or-members(...), with no ASSIGN
+  // keys-or-members left.
+  EXPECT_EQ(text.find("ASSIGN $2 <- keys-or-members"), std::string::npos);
+  EXPECT_NE(text.find("<- keys-or-members"), std::string::npos);
+  // The collection read and file-iterate remain (pipelining is off).
+  EXPECT_NE(text.find("collection(\"/books\")"), std::string::npos);
+  EXPECT_EQ(text.find("DATASCAN"), std::string::npos);
+}
+
+TEST(PathRulesTest, DoesNotFireWhenVariableUsedTwice) {
+  // If the keys-or-members sequence is referenced elsewhere, the merge
+  // must not fire.
+  LogicalPlan plan = Plan(R"(
+      for $x in collection("/c")
+      let $members := $x("list")()
+      for $m in $members
+      return count($members))");
+  RuleOptions options = RuleOptions::None();
+  options.path_rules = true;
+  Rewrite(&plan, options);
+  // The ASSIGN keys-or-members survives (still referenced by count()).
+  EXPECT_NE(plan.ToString().find("ASSIGN"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("keys-or-members"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Pipelining rules (Figs. 5 -> 8)
+// ---------------------------------------------------------------------
+
+TEST(PipeliningRulesTest, IntroducesDataScan) {
+  LogicalPlan plan = Plan(R"(collection("/books")("bookstore")("book")())");
+  RuleOptions options = RuleOptions::None();
+  options.path_rules = true;
+  options.pipelining_rules = true;
+  std::vector<std::string> fired = Rewrite(&plan, options);
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("DATASCAN"), std::string::npos);
+  EXPECT_EQ(text.find("collection(\"/books\")\n"), std::string::npos);
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "introduce-datascan"),
+            fired.end());
+}
+
+TEST(PipeliningRulesTest, FullPathMergesIntoScanArguments) {
+  // Fig. 8: the whole navigation ends up as DATASCAN's second argument.
+  LogicalPlan plan = Plan(R"(collection("/books")("bookstore")("book")())");
+  Rewrite(&plan, RuleOptions::All());
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find(
+                "<- collection(\"/books\")(\"bookstore\")(\"book\")()"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("DATASCAN"), std::string::npos);
+  EXPECT_EQ(text.find("UNNEST"), std::string::npos);
+  EXPECT_EQ(text.find("ASSIGN"), std::string::npos);
+}
+
+TEST(PipeliningRulesTest, SensorPathMergesBothKeysOrMembers) {
+  LogicalPlan plan = Plan(R"(
+      for $r in collection("/sensors")("root")()("results")()
+      return $r)");
+  Rewrite(&plan, RuleOptions::All());
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("(\"root\")()(\"results\")()"), std::string::npos)
+      << text;
+}
+
+TEST(PipeliningRulesTest, TrailingValueStepMergesToo) {
+  // Q0b's ("date") after the final () — paper §5.3's key optimization.
+  LogicalPlan plan = Plan(R"(
+      for $r in collection("/sensors")("root")()("results")()("date")
+      return $r)");
+  Rewrite(&plan, RuleOptions::All());
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("(\"results\")()(\"date\")"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("UNNEST"), std::string::npos) << text;
+}
+
+TEST(PipeliningRulesTest, PushdownSubToggle) {
+  // With pipelining_pushdown off (the AsterixDB model), DATASCAN is
+  // introduced but navigation stays in ASSIGN/UNNEST operators.
+  LogicalPlan plan = Plan(R"(
+      for $r in collection("/sensors")("root")()("results")()
+      return $r)");
+  RuleOptions options = RuleOptions::All();
+  options.pipelining_pushdown = false;
+  Rewrite(&plan, options);
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("DATASCAN"), std::string::npos);
+  EXPECT_NE(text.find("UNNEST"), std::string::npos);
+  EXPECT_EQ(text.find("(\"root\")()"), std::string::npos) << text;
+}
+
+TEST(PipeliningRulesTest, RequiresPathRulesForFullFusion) {
+  // Without the path rules the two-step keys-or-members blocks the
+  // keys-or-members pushdown (category stacking, paper §4.2 "builds on
+  // top of the previous rule set").
+  LogicalPlan plan = Plan(R"(collection("/books")("bookstore")("book")())");
+  RuleOptions options = RuleOptions::None();
+  options.pipelining_rules = true;  // but path_rules stay off
+  Rewrite(&plan, options);
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("DATASCAN"), std::string::npos);
+  EXPECT_NE(text.find("keys-or-members"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Group-by rules (Figs. 9 -> 12)
+// ---------------------------------------------------------------------
+
+constexpr const char* kGroupQuery = R"(
+    for $x in collection("/books")("bookstore")("book")()
+    group by $author := $x("author")
+    return count($x("title")))";
+
+TEST(GroupByRulesTest, RemovesTreat) {
+  LogicalPlan plan = Plan(kGroupQuery);
+  ASSERT_NE(plan.ToString().find("treat("), std::string::npos);
+  RuleOptions options = RuleOptions::None();
+  options.groupby_rules = true;
+  std::vector<std::string> fired = Rewrite(&plan, options);
+  EXPECT_EQ(plan.ToString().find("treat("), std::string::npos);
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "remove-redundant-treat"),
+            fired.end());
+}
+
+TEST(GroupByRulesTest, PushesCountIntoGroupBy) {
+  // Fig. 12: the final nested plan computes count incrementally; no
+  // sequence materialization, no SUBPLAN remains.
+  LogicalPlan plan = Plan(kGroupQuery);
+  RuleOptions options = RuleOptions::None();
+  options.groupby_rules = true;
+  std::vector<std::string> fired = Rewrite(&plan, options);
+  std::string text = plan.ToString();
+  EXPECT_EQ(text.find("sequence("), std::string::npos) << text;
+  EXPECT_EQ(text.find("SUBPLAN"), std::string::npos) << text;
+  EXPECT_NE(text.find("count(value("), std::string::npos) << text;
+  EXPECT_NE(std::find(fired.begin(), fired.end(),
+                      "convert-scalar-to-aggregate"),
+            fired.end());
+  EXPECT_NE(std::find(fired.begin(), fired.end(),
+                      "push-aggregate-into-groupby"),
+            fired.end());
+}
+
+TEST(GroupByRulesTest, SecondFormSkipsConversion) {
+  // Q1b is "already written in an optimized way" (paper §5.3): the
+  // SUBPLAN comes from translation, so only the push-down fires.
+  LogicalPlan plan = Plan(R"(
+      for $x in collection("/books")("bookstore")("book")()
+      group by $author := $x("author")
+      return count(for $j in $x return $j("title")))");
+  RuleOptions options = RuleOptions::None();
+  options.groupby_rules = true;
+  std::vector<std::string> fired = Rewrite(&plan, options);
+  EXPECT_EQ(std::find(fired.begin(), fired.end(),
+                      "convert-scalar-to-aggregate"),
+            fired.end());
+  EXPECT_NE(std::find(fired.begin(), fired.end(),
+                      "push-aggregate-into-groupby"),
+            fired.end());
+  EXPECT_EQ(plan.ToString().find("SUBPLAN"), std::string::npos);
+}
+
+TEST(GroupByRulesTest, OtherAggregatesConvertToo) {
+  // The conversion generalizes beyond count (sum/avg/min/max).
+  LogicalPlan plan = Plan(R"(
+      for $x in collection("/c")("root")()
+      group by $k := $x("k")
+      return sum($x("v")))");
+  RuleOptions options = RuleOptions::None();
+  options.groupby_rules = true;
+  Rewrite(&plan, options);
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("sum(value("), std::string::npos) << text;
+  EXPECT_EQ(text.find("sequence("), std::string::npos) << text;
+}
+
+TEST(GroupByRulesTest, SequenceUsedTwiceBlocksPushdown) {
+  // If the group sequence feeds two consumers, the push-down must not
+  // fire (it would change the second consumer's input).
+  LogicalPlan plan = Plan(R"(
+      for $x in collection("/c")("root")()
+      group by $k := $x("k")
+      return count($x("v")) + count($x("w")))");
+  RuleOptions options = RuleOptions::None();
+  options.groupby_rules = true;
+  Rewrite(&plan, options);
+  // Both counts converted to subplans, but the sequence materialization
+  // must survive (two consumers).
+  EXPECT_NE(plan.ToString().find("sequence("), std::string::npos)
+      << plan.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Join rule
+// ---------------------------------------------------------------------
+
+TEST(JoinRulesTest, ExtractsEquiKeysAndPushesSelections) {
+  LogicalPlan plan = Plan(R"(
+      for $a in collection("/x")("root")()
+      for $b in collection("/y")("root")()
+      where $a("k") eq $b("k") and $a("t") eq "TMIN"
+        and $b("t") eq "TMAX" and $a("v") lt $b("v")
+      return $a)");
+  RuleOptions options = RuleOptions::None();
+  std::vector<std::string> fired = Rewrite(&plan, options);
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "extract-join-condition"),
+            fired.end());
+  // Find the join; check keys and residual.
+  LOpPtr cursor = plan.root;
+  while (cursor != nullptr && cursor->kind != LOpKind::kJoin) {
+    cursor = cursor->inputs.empty() ? nullptr : cursor->inputs[0];
+  }
+  ASSERT_NE(cursor, nullptr);
+  ASSERT_EQ(cursor->left_keys.size(), 1u);
+  ASSERT_EQ(cursor->right_keys.size(), 1u);
+  ASSERT_NE(cursor->expr, nullptr);  // the lt residual
+  EXPECT_NE(cursor->expr->ToString().find("lt"), std::string::npos);
+  // One-sided predicates were pushed below the branches.
+  EXPECT_EQ(cursor->inputs[0]->kind, LOpKind::kSelect);
+  EXPECT_EQ(cursor->inputs[1]->kind, LOpKind::kSelect);
+}
+
+// ---------------------------------------------------------------------
+// Projection insertion (Algebricks-core, always on)
+// ---------------------------------------------------------------------
+
+TEST(ProjectionTest, InsertsProjectWhereVariablesDie) {
+  LogicalPlan plan = Plan(kGroupQuery);
+  ASSERT_TRUE(InsertProjections(&plan).ok());
+  EXPECT_NE(plan.ToString().find("PROJECT"), std::string::npos);
+}
+
+TEST(ProjectionTest, FullyOptimizedPlanNeedsNoProjection) {
+  LogicalPlan plan = Plan(R"(collection("/books")("bookstore")("book")())");
+  Rewrite(&plan, RuleOptions::All());
+  ASSERT_TRUE(InsertProjections(&plan).ok());
+  // DATASCAN produces exactly the distributed variable: nothing to drop.
+  EXPECT_EQ(plan.ToString().find("PROJECT"), std::string::npos)
+      << plan.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Fixpoint behaviour
+// ---------------------------------------------------------------------
+
+TEST(RewriteEngineTest, RewriteIsIdempotent) {
+  LogicalPlan plan = Plan(kGroupQuery);
+  Rewrite(&plan, RuleOptions::All());
+  std::string once = plan.ToString();
+  std::vector<std::string> fired2 = Rewrite(&plan, RuleOptions::All());
+  EXPECT_TRUE(fired2.empty()) << fired2.size() << " rules re-fired";
+  EXPECT_EQ(plan.ToString(), once);
+}
+
+TEST(RewriteEngineTest, NoneConfigurationOnlyNormalizesJoins) {
+  LogicalPlan plan = Plan(kGroupQuery);
+  std::string before = plan.ToString();
+  std::vector<std::string> fired = Rewrite(&plan, RuleOptions::None());
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(plan.ToString(), before);
+}
+
+TEST(RewriteEngineTest, CountOccurrencesSanity) {
+  EXPECT_EQ(CountOccurrences("aaa", "aa"), 2);  // helper self-check
+}
+
+}  // namespace
+}  // namespace jpar

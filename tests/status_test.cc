@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace jpar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, CopiesShareRepresentation) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_EQ(b.message(), "disk gone");
+  EXPECT_EQ(b.code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kParseError, StatusCode::kTypeError,
+        StatusCode::kNotFound, StatusCode::kUnsupported,
+        StatusCode::kResourceExhausted, StatusCode::kIOError,
+        StatusCode::kInternal}) {
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    JPAR_RETURN_NOT_OK(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::TypeError("not an int");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 10;
+  };
+  auto consumer = [&](bool fail) -> Result<int> {
+    JPAR_ASSIGN_OR_RETURN(int v, producer(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*consumer(false), 20);
+  EXPECT_EQ(consumer(true).status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace jpar
