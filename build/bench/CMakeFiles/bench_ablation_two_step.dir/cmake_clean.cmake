@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_two_step.dir/bench_ablation_two_step.cc.o"
+  "CMakeFiles/bench_ablation_two_step.dir/bench_ablation_two_step.cc.o.d"
+  "bench_ablation_two_step"
+  "bench_ablation_two_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_two_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

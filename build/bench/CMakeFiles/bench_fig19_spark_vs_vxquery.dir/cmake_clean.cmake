@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_spark_vs_vxquery.dir/bench_fig19_spark_vs_vxquery.cc.o"
+  "CMakeFiles/bench_fig19_spark_vs_vxquery.dir/bench_fig19_spark_vs_vxquery.cc.o.d"
+  "bench_fig19_spark_vs_vxquery"
+  "bench_fig19_spark_vs_vxquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_spark_vs_vxquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_asterix_scaleup.
+# This may be replaced when dependencies are built.

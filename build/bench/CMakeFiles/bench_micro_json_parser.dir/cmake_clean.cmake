@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_json_parser.dir/bench_micro_json_parser.cc.o"
+  "CMakeFiles/bench_micro_json_parser.dir/bench_micro_json_parser.cc.o.d"
+  "bench_micro_json_parser"
+  "bench_micro_json_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_json_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

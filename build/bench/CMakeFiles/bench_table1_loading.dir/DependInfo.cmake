@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_loading.cc" "bench/CMakeFiles/bench_table1_loading.dir/bench_table1_loading.cc.o" "gcc" "bench/CMakeFiles/bench_table1_loading.dir/bench_table1_loading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/jpar_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_jsoniq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_spark_loading.dir/bench_table2_spark_loading.cc.o"
+  "CMakeFiles/bench_table2_spark_loading.dir/bench_table2_spark_loading.cc.o.d"
+  "bench_table2_spark_loading"
+  "bench_table2_spark_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_spark_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

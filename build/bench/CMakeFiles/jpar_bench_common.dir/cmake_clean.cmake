@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_bench_common.dir/baseline_queries.cc.o"
+  "CMakeFiles/jpar_bench_common.dir/baseline_queries.cc.o.d"
+  "CMakeFiles/jpar_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/jpar_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/jpar_bench_common.dir/sharded_docstore.cc.o"
+  "CMakeFiles/jpar_bench_common.dir/sharded_docstore.cc.o.d"
+  "libjpar_bench_common.a"
+  "libjpar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_shell.dir/jpar_shell.cpp.o"
+  "CMakeFiles/jpar_shell.dir/jpar_shell.cpp.o.d"
+  "jpar_shell"
+  "jpar_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/logical_plan.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/logical_plan.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/logical_plan.cc.o.d"
+  "/root/repo/src/algebra/physical_translator.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/physical_translator.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/physical_translator.cc.o.d"
+  "/root/repo/src/algebra/rewriter.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/rewriter.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/rewriter.cc.o.d"
+  "/root/repo/src/algebra/rules/groupby_rules.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/groupby_rules.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/groupby_rules.cc.o.d"
+  "/root/repo/src/algebra/rules/index_rules.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/index_rules.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/index_rules.cc.o.d"
+  "/root/repo/src/algebra/rules/join_rules.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/join_rules.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/join_rules.cc.o.d"
+  "/root/repo/src/algebra/rules/path_rules.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/path_rules.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/path_rules.cc.o.d"
+  "/root/repo/src/algebra/rules/pipelining_rules.cc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/pipelining_rules.cc.o" "gcc" "src/CMakeFiles/jpar_algebra.dir/algebra/rules/pipelining_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_algebra.dir/algebra/logical_plan.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/logical_plan.cc.o.d"
+  "CMakeFiles/jpar_algebra.dir/algebra/physical_translator.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/physical_translator.cc.o.d"
+  "CMakeFiles/jpar_algebra.dir/algebra/rewriter.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/rewriter.cc.o.d"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/groupby_rules.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/groupby_rules.cc.o.d"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/index_rules.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/index_rules.cc.o.d"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/join_rules.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/join_rules.cc.o.d"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/path_rules.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/path_rules.cc.o.d"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/pipelining_rules.cc.o"
+  "CMakeFiles/jpar_algebra.dir/algebra/rules/pipelining_rules.cc.o.d"
+  "libjpar_algebra.a"
+  "libjpar_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

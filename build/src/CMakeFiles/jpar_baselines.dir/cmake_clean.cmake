@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_baselines.dir/baselines/asterix_like.cc.o"
+  "CMakeFiles/jpar_baselines.dir/baselines/asterix_like.cc.o.d"
+  "CMakeFiles/jpar_baselines.dir/baselines/compression.cc.o"
+  "CMakeFiles/jpar_baselines.dir/baselines/compression.cc.o.d"
+  "CMakeFiles/jpar_baselines.dir/baselines/docstore.cc.o"
+  "CMakeFiles/jpar_baselines.dir/baselines/docstore.cc.o.d"
+  "CMakeFiles/jpar_baselines.dir/baselines/memtable.cc.o"
+  "CMakeFiles/jpar_baselines.dir/baselines/memtable.cc.o.d"
+  "libjpar_baselines.a"
+  "libjpar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

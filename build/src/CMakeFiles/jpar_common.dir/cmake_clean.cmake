@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_common.dir/common/status.cc.o"
+  "CMakeFiles/jpar_common.dir/common/status.cc.o.d"
+  "libjpar_common.a"
+  "libjpar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

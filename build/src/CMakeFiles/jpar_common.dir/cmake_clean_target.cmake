@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjpar_common.a"
+)

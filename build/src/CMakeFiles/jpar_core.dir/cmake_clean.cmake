@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_core.dir/core/engine.cc.o"
+  "CMakeFiles/jpar_core.dir/core/engine.cc.o.d"
+  "libjpar_core.a"
+  "libjpar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_data.dir/data/sensor_generator.cc.o"
+  "CMakeFiles/jpar_data.dir/data/sensor_generator.cc.o.d"
+  "libjpar_data.a"
+  "libjpar_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

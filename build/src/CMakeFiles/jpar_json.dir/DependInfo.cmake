@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/json/binary_serde.cc" "src/CMakeFiles/jpar_json.dir/json/binary_serde.cc.o" "gcc" "src/CMakeFiles/jpar_json.dir/json/binary_serde.cc.o.d"
+  "/root/repo/src/json/datetime.cc" "src/CMakeFiles/jpar_json.dir/json/datetime.cc.o" "gcc" "src/CMakeFiles/jpar_json.dir/json/datetime.cc.o.d"
+  "/root/repo/src/json/item.cc" "src/CMakeFiles/jpar_json.dir/json/item.cc.o" "gcc" "src/CMakeFiles/jpar_json.dir/json/item.cc.o.d"
+  "/root/repo/src/json/parser.cc" "src/CMakeFiles/jpar_json.dir/json/parser.cc.o" "gcc" "src/CMakeFiles/jpar_json.dir/json/parser.cc.o.d"
+  "/root/repo/src/json/projecting_reader.cc" "src/CMakeFiles/jpar_json.dir/json/projecting_reader.cc.o" "gcc" "src/CMakeFiles/jpar_json.dir/json/projecting_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

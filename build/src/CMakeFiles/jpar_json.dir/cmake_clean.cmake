@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_json.dir/json/binary_serde.cc.o"
+  "CMakeFiles/jpar_json.dir/json/binary_serde.cc.o.d"
+  "CMakeFiles/jpar_json.dir/json/datetime.cc.o"
+  "CMakeFiles/jpar_json.dir/json/datetime.cc.o.d"
+  "CMakeFiles/jpar_json.dir/json/item.cc.o"
+  "CMakeFiles/jpar_json.dir/json/item.cc.o.d"
+  "CMakeFiles/jpar_json.dir/json/parser.cc.o"
+  "CMakeFiles/jpar_json.dir/json/parser.cc.o.d"
+  "CMakeFiles/jpar_json.dir/json/projecting_reader.cc.o"
+  "CMakeFiles/jpar_json.dir/json/projecting_reader.cc.o.d"
+  "libjpar_json.a"
+  "libjpar_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

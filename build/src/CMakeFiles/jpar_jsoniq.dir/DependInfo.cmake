@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jsoniq/lexer.cc" "src/CMakeFiles/jpar_jsoniq.dir/jsoniq/lexer.cc.o" "gcc" "src/CMakeFiles/jpar_jsoniq.dir/jsoniq/lexer.cc.o.d"
+  "/root/repo/src/jsoniq/parser.cc" "src/CMakeFiles/jpar_jsoniq.dir/jsoniq/parser.cc.o" "gcc" "src/CMakeFiles/jpar_jsoniq.dir/jsoniq/parser.cc.o.d"
+  "/root/repo/src/jsoniq/translator.cc" "src/CMakeFiles/jpar_jsoniq.dir/jsoniq/translator.cc.o" "gcc" "src/CMakeFiles/jpar_jsoniq.dir/jsoniq/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpar_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_jsoniq.dir/jsoniq/lexer.cc.o"
+  "CMakeFiles/jpar_jsoniq.dir/jsoniq/lexer.cc.o.d"
+  "CMakeFiles/jpar_jsoniq.dir/jsoniq/parser.cc.o"
+  "CMakeFiles/jpar_jsoniq.dir/jsoniq/parser.cc.o.d"
+  "CMakeFiles/jpar_jsoniq.dir/jsoniq/translator.cc.o"
+  "CMakeFiles/jpar_jsoniq.dir/jsoniq/translator.cc.o.d"
+  "libjpar_jsoniq.a"
+  "libjpar_jsoniq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_jsoniq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

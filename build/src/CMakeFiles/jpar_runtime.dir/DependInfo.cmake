@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/aggregates.cc" "src/CMakeFiles/jpar_runtime.dir/runtime/aggregates.cc.o" "gcc" "src/CMakeFiles/jpar_runtime.dir/runtime/aggregates.cc.o.d"
+  "/root/repo/src/runtime/catalog.cc" "src/CMakeFiles/jpar_runtime.dir/runtime/catalog.cc.o" "gcc" "src/CMakeFiles/jpar_runtime.dir/runtime/catalog.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/CMakeFiles/jpar_runtime.dir/runtime/executor.cc.o" "gcc" "src/CMakeFiles/jpar_runtime.dir/runtime/executor.cc.o.d"
+  "/root/repo/src/runtime/expression.cc" "src/CMakeFiles/jpar_runtime.dir/runtime/expression.cc.o" "gcc" "src/CMakeFiles/jpar_runtime.dir/runtime/expression.cc.o.d"
+  "/root/repo/src/runtime/frame.cc" "src/CMakeFiles/jpar_runtime.dir/runtime/frame.cc.o" "gcc" "src/CMakeFiles/jpar_runtime.dir/runtime/frame.cc.o.d"
+  "/root/repo/src/runtime/operators.cc" "src/CMakeFiles/jpar_runtime.dir/runtime/operators.cc.o" "gcc" "src/CMakeFiles/jpar_runtime.dir/runtime/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpar_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

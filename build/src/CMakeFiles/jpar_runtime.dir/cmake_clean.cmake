@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpar_runtime.dir/runtime/aggregates.cc.o"
+  "CMakeFiles/jpar_runtime.dir/runtime/aggregates.cc.o.d"
+  "CMakeFiles/jpar_runtime.dir/runtime/catalog.cc.o"
+  "CMakeFiles/jpar_runtime.dir/runtime/catalog.cc.o.d"
+  "CMakeFiles/jpar_runtime.dir/runtime/executor.cc.o"
+  "CMakeFiles/jpar_runtime.dir/runtime/executor.cc.o.d"
+  "CMakeFiles/jpar_runtime.dir/runtime/expression.cc.o"
+  "CMakeFiles/jpar_runtime.dir/runtime/expression.cc.o.d"
+  "CMakeFiles/jpar_runtime.dir/runtime/frame.cc.o"
+  "CMakeFiles/jpar_runtime.dir/runtime/frame.cc.o.d"
+  "CMakeFiles/jpar_runtime.dir/runtime/operators.cc.o"
+  "CMakeFiles/jpar_runtime.dir/runtime/operators.cc.o.d"
+  "libjpar_runtime.a"
+  "libjpar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datetime_test.cc" "tests/CMakeFiles/datetime_test.dir/datetime_test.cc.o" "gcc" "tests/CMakeFiles/datetime_test.dir/datetime_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_jsoniq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoniq_parser_test.dir/jsoniq_parser_test.cc.o"
+  "CMakeFiles/jsoniq_parser_test.dir/jsoniq_parser_test.cc.o.d"
+  "jsoniq_parser_test"
+  "jsoniq_parser_test.pdb"
+  "jsoniq_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoniq_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

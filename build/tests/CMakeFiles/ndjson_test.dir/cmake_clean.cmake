@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndjson_test.dir/ndjson_test.cc.o"
+  "CMakeFiles/ndjson_test.dir/ndjson_test.cc.o.d"
+  "ndjson_test"
+  "ndjson_test.pdb"
+  "ndjson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndjson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projecting_reader_test.dir/projecting_reader_test.cc.o"
+  "CMakeFiles/projecting_reader_test.dir/projecting_reader_test.cc.o.d"
+  "projecting_reader_test"
+  "projecting_reader_test.pdb"
+  "projecting_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projecting_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/item_test[1]_include.cmake")
+include("/root/repo/build/tests/datetime_test[1]_include.cmake")
+include("/root/repo/build/tests/json_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/projecting_reader_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_serde_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_test[1]_include.cmake")
+include("/root/repo/build/tests/expression_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregates_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/jsoniq_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/ndjson_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_queries_test[1]_include.cmake")
