@@ -1,0 +1,100 @@
+// Service-tier throughput: N client threads submit the paper's five
+// queries through QueryService, with and without the plan cache, and
+// the admission/cache counters are printed. This measures what the
+// single-shot figure benches cannot: amortization of compilation
+// across repeated queries and the cost of the session/admission path
+// under concurrency. Scaled by JPAR_BENCH_SCALE like every bench.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/query_service.h"
+
+namespace jparbench {
+namespace {
+
+using jpar::QueryService;
+using jpar::QueryTicket;
+using jpar::ServiceMetrics;
+using jpar::ServiceOptions;
+using jpar::Session;
+
+constexpr int kClientThreads = 4;
+constexpr int kQueriesPerClient = 20;
+
+struct RunResult {
+  double wall_ms = 0;
+  double qps = 0;
+  ServiceMetrics metrics;
+};
+
+RunResult RunWorkload(const Collection& data, size_t plan_cache_capacity) {
+  ServiceOptions options;
+  options.worker_threads = 4;
+  options.plan_cache_capacity = plan_cache_capacity;
+  options.max_queue_depth = kClientThreads * kQueriesPerClient;
+  options.engine.exec.partitions = 2;
+  options.engine.exec.network_gbps = 10.0;
+  QueryService service(options);
+  service.catalog()->RegisterCollection("/sensors", data);
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&service, c] {
+      std::shared_ptr<Session> session = service.CreateSession();
+      std::vector<QueryTicket> tickets;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const NamedQuery& q =
+            kAllQueries[static_cast<size_t>(c + i) %
+                        (sizeof(kAllQueries) / sizeof(kAllQueries[0]))];
+        tickets.push_back(session->Submit(q.text));
+      }
+      for (QueryTicket& t : tickets) {
+        CheckOk(t.status(), "service query");
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  RunResult r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  r.qps = static_cast<double>(kClientThreads * kQueriesPerClient) /
+          (r.wall_ms / 1000.0);
+  r.metrics = service.Metrics();
+  return r;
+}
+
+void Run() {
+  const Collection& data = SensorData(1024 * 1024);
+
+  PrintTableHeader(
+      "Service throughput: 4 client threads x 20 queries (Q0..Q2 mix)",
+      {"plan cache", "wall", "queries/s", "cache hits", "misses",
+       "queued peak"});
+  for (size_t capacity : {size_t{0}, size_t{128}}) {
+    RunResult r = RunWorkload(data, capacity);
+    PrintTableRow({capacity == 0 ? "off" : "on (128)", FormatMs(r.wall_ms),
+                   std::to_string(static_cast<int>(r.qps)),
+                   std::to_string(r.metrics.plan_cache.hits),
+                   std::to_string(r.metrics.plan_cache.misses),
+                   std::to_string(r.metrics.admission.queued_peak)});
+  }
+
+  RunResult full = RunWorkload(data, 128);
+  std::printf("\nFull metrics snapshot of the cached run:\n%s",
+              full.metrics.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kResourceExhausted = 6,  // memory budget or document-size limits
   kIOError = 7,
   kInternal = 8,
+  kUnavailable = 9,  // transient overload: retry later (queue full)
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -53,6 +54,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -8,13 +8,18 @@ namespace jpar {
 Engine::Engine(EngineOptions options) : options_(options) {}
 
 Result<CompiledQuery> Engine::Compile(std::string_view query) const {
+  return Compile(query, options_.rules);
+}
+
+Result<CompiledQuery> Engine::Compile(std::string_view query,
+                                      const RuleOptions& rules) const {
   JPAR_ASSIGN_OR_RETURN(AstPtr ast, ParseQuery(query));
   JPAR_ASSIGN_OR_RETURN(LogicalPlan plan, TranslateToLogical(ast));
 
   CompiledQuery compiled;
   compiled.original_plan = plan.ToString();
 
-  RewriteEngine rewriter(options_.rules);
+  RewriteEngine rewriter(rules);
   JPAR_ASSIGN_OR_RETURN(compiled.fired_rules,
                         rewriter.Rewrite(&plan, &catalog_));
   // Algebricks-core variable pruning: always on, independent of the
@@ -23,14 +28,19 @@ Result<CompiledQuery> Engine::Compile(std::string_view query) const {
   compiled.optimized_plan = plan.ToString();
 
   PhysicalOptions popts;
-  popts.two_step_aggregation = options_.rules.two_step_aggregation;
+  popts.two_step_aggregation = rules.two_step_aggregation;
   JPAR_ASSIGN_OR_RETURN(compiled.physical, TranslateToPhysical(plan, popts));
   compiled.logical = std::move(plan);
   return compiled;
 }
 
 Result<QueryOutput> Engine::Execute(const CompiledQuery& query) const {
-  Executor executor(&catalog_, options_.exec);
+  return Execute(query, options_.exec);
+}
+
+Result<QueryOutput> Engine::Execute(const CompiledQuery& query,
+                                    const ExecOptions& exec) const {
+  Executor executor(&catalog_, exec);
   return executor.Run(query.physical);
 }
 

@@ -38,7 +38,13 @@ struct CompiledQuery {
 ///   auto result = engine.Run("for $r in collection(\"/sensors\") ...");
 ///
 /// Thread-compatible: configure and register data first, then share
-/// const access across threads.
+/// const access across threads. All const methods (Compile, Execute,
+/// Run) are safe to call concurrently — compilation builds its own
+/// rewrite engine per call and execution is stateless — provided no
+/// concurrent set_options() or catalog registration. The service layer
+/// (src/service/) relies on this to run many queries against one
+/// Engine; it passes per-session options via the explicit-option
+/// overloads instead of mutating the shared defaults.
 class Engine {
  public:
   explicit Engine(EngineOptions options = EngineOptions());
@@ -46,13 +52,24 @@ class Engine {
   Catalog* catalog() { return &catalog_; }
   const Catalog* catalog() const { return &catalog_; }
   const EngineOptions& options() const { return options_; }
+  /// Not thread-safe: only before queries start.
   void set_options(const EngineOptions& options) { options_ = options; }
 
   /// Parses, translates, rewrites, and lowers a query.
   Result<CompiledQuery> Compile(std::string_view query) const;
 
+  /// Compile under an explicit rule configuration (overriding the
+  /// engine-wide default for this call only).
+  Result<CompiledQuery> Compile(std::string_view query,
+                                const RuleOptions& rules) const;
+
   /// Executes a compiled query against the catalog.
   Result<QueryOutput> Execute(const CompiledQuery& query) const;
+
+  /// Execute under explicit execution options (overriding the
+  /// engine-wide default for this call only).
+  Result<QueryOutput> Execute(const CompiledQuery& query,
+                              const ExecOptions& exec) const;
 
   /// Compile + Execute.
   Result<QueryOutput> Run(std::string_view query) const;

@@ -686,10 +686,32 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
   return output;
 }
 
+Status ValidateExecOptions(const ExecOptions& options) {
+  if (options.partitions < 1) {
+    return Status::InvalidArgument(
+        "partitions must be >= 1, got " + std::to_string(options.partitions));
+  }
+  if (options.partitions_per_node < 1) {
+    return Status::InvalidArgument(
+        "partitions_per_node must be >= 1, got " +
+        std::to_string(options.partitions_per_node));
+  }
+  if (options.cores_per_node < 1) {
+    return Status::InvalidArgument(
+        "cores_per_node must be >= 1, got " +
+        std::to_string(options.cores_per_node));
+  }
+  if (options.frame_bytes == 0) {
+    return Status::InvalidArgument("frame_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
 Result<QueryOutput> Executor::Run(const PhysicalPlan& plan) const {
   if (plan.root == nullptr) {
     return Status::InvalidArgument("physical plan has no root");
   }
+  JPAR_RETURN_NOT_OK(ValidateExecOptions(options_));
   auto start = Clock::now();
   QueryOutput out;
   JPAR_ASSIGN_OR_RETURN(PartitionSet result, Exec(*plan.root, &out.stats));

@@ -103,6 +103,14 @@ struct ExecOptions {
   double network_latency_ms_per_frame = 0.05;
 };
 
+/// Checks an ExecOptions for values that would make execution
+/// meaningless or divide by zero (`partitions >= 1`,
+/// `partitions_per_node >= 1`, `cores_per_node >= 1`, `frame_bytes > 0`).
+/// Called by Executor::Run and by the query service at admission, so
+/// bad options fail fast with InvalidArgument instead of relying on
+/// inline guards deep in the executor.
+Status ValidateExecOptions(const ExecOptions& options);
+
 /// Result rows plus the execution statistics the benchmarks plot.
 struct QueryOutput {
   /// The DISTRIBUTE-RESULT column of every output tuple, in partition

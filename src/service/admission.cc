@@ -1,0 +1,59 @@
+#include "service/admission.h"
+
+namespace jpar {
+
+Status AdmissionController::Admit(uint64_t cost_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ != 0 && cost_bytes > budget_) {
+    ++rejected_memory_;
+    return Status::ResourceExhausted(
+        "query memory reservation (" + std::to_string(cost_bytes) +
+        " bytes) exceeds the service budget (" + std::to_string(budget_) +
+        " bytes)");
+  }
+  if (budget_ != 0 && reserved_ + cost_bytes > budget_) {
+    ++rejected_memory_;
+    return Status::ResourceExhausted(
+        "service memory budget exhausted: " + std::to_string(reserved_) +
+        " of " + std::to_string(budget_) +
+        " bytes reserved by in-flight queries; retry when they complete");
+  }
+  if (queued_ >= max_queued_) {
+    ++rejected_queue_full_;
+    return Status::Unavailable(
+        "submission queue full (" + std::to_string(queued_) +
+        " queries waiting); retry later");
+  }
+  reserved_ += cost_bytes;
+  ++queued_;
+  ++admitted_;
+  if (queued_ > queued_peak_) queued_peak_ = queued_;
+  return Status::OK();
+}
+
+void AdmissionController::StartRunning() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ > 0) --queued_;
+  ++running_;
+}
+
+void AdmissionController::Finish(uint64_t cost_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ > 0) --running_;
+  reserved_ = reserved_ >= cost_bytes ? reserved_ - cost_bytes : 0;
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.rejected_queue_full = rejected_queue_full_;
+  s.rejected_memory = rejected_memory_;
+  s.queued_peak = queued_peak_;
+  s.queued = queued_;
+  s.running = running_;
+  s.reserved_bytes = reserved_;
+  return s;
+}
+
+}  // namespace jpar

@@ -1,0 +1,75 @@
+#ifndef JPAR_SERVICE_ADMISSION_H_
+#define JPAR_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace jpar {
+
+/// Counters exposed through QueryService::Metrics().
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t rejected_queue_full = 0;  // kUnavailable rejections
+  uint64_t rejected_memory = 0;      // kResourceExhausted rejections
+  uint64_t queued_peak = 0;          // max queries waiting for a worker
+  uint64_t queued = 0;               // currently waiting
+  uint64_t running = 0;              // currently executing
+  uint64_t reserved_bytes = 0;       // memory reserved by admitted work
+};
+
+/// Gate between Submit() and the worker pool: a bounded submission
+/// queue plus a global memory budget. Overload produces typed errors
+/// the client can act on instead of unbounded queue growth or an OOM
+/// deep inside the executor:
+///
+///   kUnavailable       — too many queries waiting; retry later.
+///   kResourceExhausted — admitting this query's memory reservation
+///                        would exceed the service budget (or the
+///                        reservation alone exceeds it).
+///
+/// A query's reservation is its ExecOptions::memory_limit_bytes when
+/// set, else the service's default_query_cost. Reservations are taken
+/// at Admit() and held until Finish(), so admission decisions are
+/// stable no matter how long the query waits for a worker.
+class AdmissionController {
+ public:
+  /// memory_budget_bytes == 0 disables the memory gate;
+  /// max_queue_depth bounds queries admitted but not yet running.
+  AdmissionController(uint64_t memory_budget_bytes, uint64_t max_queue_depth)
+      : budget_(memory_budget_bytes), max_queued_(max_queue_depth) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Reserves `cost_bytes` and a queue slot, or returns the typed
+  /// rejection.
+  Status Admit(uint64_t cost_bytes);
+
+  /// A worker picked the query up: queued -> running.
+  void StartRunning();
+
+  /// The query finished (success or failure): releases its
+  /// reservation.
+  void Finish(uint64_t cost_bytes);
+
+  AdmissionStats Stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  const uint64_t budget_;
+  const uint64_t max_queued_;
+  uint64_t reserved_ = 0;
+  uint64_t queued_ = 0;
+  uint64_t running_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_queue_full_ = 0;
+  uint64_t rejected_memory_ = 0;
+  uint64_t queued_peak_ = 0;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_SERVICE_ADMISSION_H_

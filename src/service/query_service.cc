@@ -1,0 +1,216 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+namespace jpar {
+
+// ---------------------------------------------------------------------
+// QueryTicket
+
+void QueryTicket::Wait() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+Status QueryTicket::status() const {
+  Wait();
+  // After done, the state is immutable: no lock needed.
+  return state_->status;
+}
+
+const QueryOutput& QueryTicket::output() const {
+  Wait();
+  return state_->output;
+}
+
+bool QueryTicket::plan_cache_hit() const {
+  Wait();
+  return state_->cache_hit;
+}
+
+// ---------------------------------------------------------------------
+// Session
+
+QueryTicket Session::Submit(std::string query) {
+  return service_->SubmitInternal(this, std::move(query));
+}
+
+SessionStats Session::Stats() const {
+  SessionStats s;
+  s.submitted = submitted_.load();
+  s.rejected = rejected_.load();
+  s.succeeded = succeeded_.load();
+  s.failed = failed_.load();
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// QueryService
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(std::move(options)),
+      engine_(options_.engine),
+      plan_cache_(options_.plan_cache_capacity),
+      admission_(options_.memory_budget_bytes, options_.max_queue_depth),
+      pool_(options_.worker_threads) {}
+
+QueryService::~QueryService() {
+  Drain();
+  pool_.Shutdown();
+}
+
+std::shared_ptr<Session> QueryService::CreateSession() {
+  return CreateSession(options_.engine);
+}
+
+std::shared_ptr<Session> QueryService::CreateSession(
+    const EngineOptions& options) {
+  ++sessions_;
+  return std::shared_ptr<Session>(
+      new Session(this, next_session_id_.fetch_add(1), options));
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void QueryService::Complete(const std::shared_ptr<QueryTicket::State>& state,
+                            Status status, QueryOutput output,
+                            bool cache_hit) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->status = std::move(status);
+    state->output = std::move(output);
+    state->cache_hit = cache_hit;
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+QueryTicket QueryService::SubmitInternal(Session* session, std::string query) {
+  ++submitted_;
+  ++session->submitted_;
+
+  QueryTicket ticket;
+  std::shared_ptr<QueryTicket::State> state = ticket.state_;
+  const EngineOptions& opts = session->options();
+
+  // Admission: validate options, then reserve a queue slot and memory.
+  uint64_t cost = opts.exec.memory_limit_bytes > 0
+                      ? opts.exec.memory_limit_bytes
+                      : options_.default_query_cost_bytes;
+  Status st = ValidateExecOptions(opts.exec);
+  if (st.ok()) st = admission_.Admit(cost);
+  if (!st.ok()) {
+    ++rejected_;
+    ++session->rejected_;
+    Complete(state, std::move(st), QueryOutput(), false);
+    return ticket;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++outstanding_;
+  }
+
+  std::string key = PlanCache::Key(query, opts.rules, opts.exec);
+  // The session is kept alive for the query's whole lifetime even if
+  // the client drops its handle right after Submit().
+  std::shared_ptr<Session> self = session->shared_from_this();
+  pool_.Submit([this, self, state, query = std::move(query),
+                key = std::move(key), cost]() {
+    admission_.StartRunning();
+    if (options_.on_query_start) options_.on_query_start(query);
+    const EngineOptions& opts = self->options();
+
+    std::shared_ptr<const CompiledQuery> plan = plan_cache_.Lookup(key);
+    bool cache_hit = plan != nullptr;
+    Status st;
+    if (!cache_hit) {
+      Result<CompiledQuery> compiled = engine_.Compile(query, opts.rules);
+      if (compiled.ok()) {
+        plan = std::make_shared<const CompiledQuery>(
+            *std::move(compiled));
+        plan_cache_.Insert(key, plan);
+      } else {
+        st = compiled.status();
+      }
+    }
+
+    QueryOutput output;
+    if (st.ok()) {
+      Result<QueryOutput> result = engine_.Execute(*plan, opts.exec);
+      if (result.ok()) {
+        output = *std::move(result);
+      } else {
+        st = result.status();
+      }
+    }
+
+    if (st.ok()) {
+      ++succeeded_;
+      ++self->succeeded_;
+    } else {
+      ++failed_;
+      ++self->failed_;
+    }
+    admission_.Finish(cost);
+    Complete(state, std::move(st), std::move(output), cache_hit);
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --outstanding_;
+    }
+    drain_cv_.notify_all();
+  });
+  return ticket;
+}
+
+ServiceMetrics QueryService::Metrics() const {
+  ServiceMetrics m;
+  m.plan_cache = plan_cache_.Stats();
+  m.admission = admission_.Stats();
+  m.sessions = sessions_.load();
+  m.submitted = submitted_.load();
+  m.rejected = rejected_.load();
+  m.succeeded = succeeded_.load();
+  m.failed = failed_.load();
+  return m;
+}
+
+std::string ServiceMetrics::ToString() const {
+  std::string out;
+  auto line = [&out](const char* name, uint64_t v) {
+    out += "  ";
+    out += name;
+    out += ": ";
+    out += std::to_string(v);
+    out += "\n";
+  };
+  out += "queries:\n";
+  line("submitted", submitted);
+  line("succeeded", succeeded);
+  line("failed", failed);
+  line("rejected", rejected);
+  line("sessions", sessions);
+  out += "plan cache:\n";
+  line("hits", plan_cache.hits);
+  line("misses", plan_cache.misses);
+  line("evictions", plan_cache.evictions);
+  line("entries", plan_cache.entries);
+  line("capacity", plan_cache.capacity);
+  out += "admission:\n";
+  line("admitted", admission.admitted);
+  line("rejected (queue full)", admission.rejected_queue_full);
+  line("rejected (memory)", admission.rejected_memory);
+  line("queued peak", admission.queued_peak);
+  line("reserved bytes", admission.reserved_bytes);
+  return out;
+}
+
+}  // namespace jpar

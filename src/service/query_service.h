@@ -1,0 +1,206 @@
+#ifndef JPAR_SERVICE_QUERY_SERVICE_H_
+#define JPAR_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/engine.h"
+#include "service/admission.h"
+#include "service/plan_cache.h"
+#include "service/worker_pool.h"
+
+namespace jpar {
+
+class QueryService;
+class Session;
+
+/// Configuration of a QueryService.
+struct ServiceOptions {
+  /// Defaults for sessions created without explicit overrides; the
+  /// catalog lives on the service's engine regardless.
+  EngineOptions engine;
+  /// Worker threads executing admitted queries concurrently.
+  int worker_threads = 4;
+  /// Maximum cached compiled plans (0 disables the cache).
+  size_t plan_cache_capacity = 128;
+  /// Maximum queries admitted but not yet running (the submission
+  /// queue). Further submissions are rejected with kUnavailable.
+  uint64_t max_queue_depth = 64;
+  /// Global memory budget across in-flight queries; 0 = unlimited.
+  /// Submissions whose reservation does not fit are rejected with
+  /// kResourceExhausted.
+  uint64_t memory_budget_bytes = 0;
+  /// Reservation charged for a query whose ExecOptions does not set
+  /// memory_limit_bytes.
+  uint64_t default_query_cost_bytes = 16ull << 20;
+  /// Instrumentation hook invoked on a worker thread just before a
+  /// query starts executing (tracing, fault injection, test
+  /// synchronization). Must be thread-safe.
+  std::function<void(std::string_view query)> on_query_start;
+};
+
+/// One query's progress through the service: a future-like handle
+/// fulfilled by a worker thread (or immediately, for submissions
+/// rejected at admission). Cheap to copy; all copies share one state.
+class QueryTicket {
+ public:
+  /// Blocks until the query completes (or was rejected).
+  void Wait() const;
+  bool done() const;
+
+  /// The final status. Blocks until done.
+  Status status() const;
+  /// Result rows + stats; only meaningful when status().ok(). Blocks
+  /// until done.
+  const QueryOutput& output() const;
+  /// True when execution reused a cached plan. Blocks until done.
+  bool plan_cache_hit() const;
+
+ private:
+  friend class QueryService;
+
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    bool done = false;
+    Status status;
+    QueryOutput output;
+    bool cache_hit = false;
+  };
+
+  QueryTicket() : state_(std::make_shared<State>()) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Per-session counters (a snapshot; the session keeps counting).
+struct SessionStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;   // failed admission or validation
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;     // ran but returned an error
+};
+
+/// A client's handle onto the service: per-session engine options
+/// (rule configuration and execution options) plus counters. Sessions
+/// are independent — two sessions can run different rule sets against
+/// the shared catalog concurrently. Thread-safe; must not outlive the
+/// QueryService that created it.
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  /// Submits a query for asynchronous execution. Never blocks on query
+  /// execution: rejected submissions return an already-completed
+  /// ticket.
+  QueryTicket Submit(std::string query);
+
+  uint64_t id() const { return id_; }
+  const EngineOptions& options() const { return options_; }
+  SessionStats Stats() const;
+
+ private:
+  friend class QueryService;
+
+  Session(QueryService* service, uint64_t id, EngineOptions options)
+      : service_(service), id_(id), options_(std::move(options)) {}
+
+  QueryService* service_;
+  const uint64_t id_;
+  const EngineOptions options_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> succeeded_{0};
+  std::atomic<uint64_t> failed_{0};
+};
+
+/// A point-in-time snapshot of every service counter.
+struct ServiceMetrics {
+  PlanCacheStats plan_cache;
+  AdmissionStats admission;
+  uint64_t sessions = 0;
+  uint64_t submitted = 0;  // all Submit() calls
+  uint64_t rejected = 0;   // failed validation or admission
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;     // executed but returned an error
+
+  /// Multi-line human-readable dump (used by bench_service_throughput).
+  std::string ToString() const;
+};
+
+/// A thread-safe, multi-client query service in front of the Engine —
+/// the reproduction's stand-in for VXQuery's client/coordinator tier
+/// (queries arrive concurrently, are admitted, scheduled onto the
+/// dataflow runtime, and answered asynchronously):
+///
+///   QueryService service(options);
+///   service.catalog()->RegisterCollection("/sensors", ...);
+///   auto session = service.CreateSession();
+///   QueryTicket t = session->Submit("count(collection(\"/sensors\"))");
+///   t.Wait();
+///
+/// Submission path: validate ExecOptions (kInvalidArgument) → admission
+/// control (bounded queue → kUnavailable; memory budget →
+/// kResourceExhausted) → worker pool → plan cache lookup → compile on
+/// miss → execute. Register catalog data before serving queries; the
+/// Engine is shared const across workers after that.
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = ServiceOptions());
+  /// Drains in-flight queries, then stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// The shared catalog. Register collections/documents/indexes before
+  /// submitting queries.
+  Catalog* catalog() { return engine_.catalog(); }
+  const Engine& engine() const { return engine_; }
+
+  /// Creates a session with the service-default engine options, or
+  /// with explicit per-session options (e.g. a different rule set or
+  /// partition count).
+  std::shared_ptr<Session> CreateSession();
+  std::shared_ptr<Session> CreateSession(const EngineOptions& options);
+
+  /// Blocks until every query submitted so far has completed.
+  void Drain();
+
+  ServiceMetrics Metrics() const;
+
+ private:
+  friend class Session;
+
+  QueryTicket SubmitInternal(Session* session, std::string query);
+  void Complete(const std::shared_ptr<QueryTicket::State>& state, Status status,
+                QueryOutput output, bool cache_hit);
+
+  ServiceOptions options_;
+  Engine engine_;
+  PlanCache plan_cache_;
+  AdmissionController admission_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> sessions_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> succeeded_{0};
+  std::atomic<uint64_t> failed_{0};
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t outstanding_ = 0;
+
+  // Last member: workers must stop before anything they touch is
+  // destroyed.
+  WorkerPool pool_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_SERVICE_QUERY_SERVICE_H_

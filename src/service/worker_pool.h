@@ -1,0 +1,46 @@
+#ifndef JPAR_SERVICE_WORKER_POOL_H_
+#define JPAR_SERVICE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jpar {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+/// Admission control bounds the queue upstream, so the pool itself
+/// accepts every task handed to it. Shutdown() (and the destructor)
+/// finishes every queued task before joining — a submitted query is
+/// never dropped, so its QueryTicket always completes.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Drains the queue, then stops and joins all workers. Idempotent.
+  void Shutdown();
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_SERVICE_WORKER_POOL_H_

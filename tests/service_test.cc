@@ -1,0 +1,528 @@
+// Tests for the concurrent query service (src/service/): sessions and
+// tickets, the LRU plan cache, admission control (bounded queue +
+// memory budget), the worker pool, and stress tests asserting that
+// concurrent execution matches sequential results. Run under
+// ThreadSanitizer in CI (see .github/workflows/ci.yml).
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+#include "service/plan_cache.h"
+
+namespace jpar {
+namespace {
+
+// 60 docs: {"v": i, "g": i % 5}.
+std::vector<std::string> MakeDocs(int n = 60) {
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    docs.push_back("{\"v\": " + std::to_string(i) + ", \"g\": " +
+                   std::to_string(i % 5) + "}");
+  }
+  return docs;
+}
+
+void RegisterDocs(Catalog* catalog, const std::vector<std::string>& docs) {
+  Collection c;
+  for (const std::string& d : docs) c.files.push_back(JsonFile::FromText(d));
+  catalog->RegisterCollection("/c", std::move(c));
+}
+
+std::vector<std::string> Rows(const QueryOutput& out) {
+  std::vector<std::string> rows;
+  for (const Item& i : out.items) rows.push_back(i.ToJsonString());
+  return rows;
+}
+
+constexpr const char* kSortedTailQuery = R"(
+    for $d in collection("/c")
+    where $d("v") gt 54
+    order by $d("v") descending
+    return $d("v"))";
+
+constexpr const char* kGroupQuery = R"(
+    for $d in collection("/c")
+    group by $g := $d("g")
+    order by $g
+    return $g)";
+
+// ---------------------------------------------------------------------
+// PlanCache (unit)
+// ---------------------------------------------------------------------
+
+TEST(PlanCacheTest, KeyCoversQueryRulesAndExec) {
+  RuleOptions rules;
+  ExecOptions exec;
+  std::string base = PlanCache::Key("q", rules, exec);
+  EXPECT_NE(base, PlanCache::Key("q2", rules, exec));
+  RuleOptions no_rules = RuleOptions::None();
+  EXPECT_NE(base, PlanCache::Key("q", no_rules, exec));
+  ExecOptions exec8 = exec;
+  exec8.partitions = 8;
+  EXPECT_NE(base, PlanCache::Key("q", rules, exec8));
+}
+
+TEST(PlanCacheTest, LruHitMissEviction) {
+  PlanCache cache(2);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);  // miss
+  cache.Insert("a", std::make_shared<const CompiledQuery>());
+  cache.Insert("b", std::make_shared<const CompiledQuery>());
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // hit; "a" is now MRU
+  cache.Insert("c", std::make_shared<const CompiledQuery>());  // evicts "b"
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+
+  PlanCacheStats s = cache.Stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  cache.Insert("a", std::make_shared<const CompiledQuery>());
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------
+// AdmissionController (unit)
+// ---------------------------------------------------------------------
+
+TEST(AdmissionTest, MemoryBudget) {
+  AdmissionController ac(/*memory_budget_bytes=*/100, /*max_queue_depth=*/10);
+  // A single reservation beyond the whole budget can never run.
+  Status too_big = ac.Admit(150);
+  EXPECT_EQ(too_big.code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(ac.Admit(60).ok());
+  Status no_room = ac.Admit(60);  // 60 + 60 > 100
+  EXPECT_EQ(no_room.code(), StatusCode::kResourceExhausted);
+
+  ac.StartRunning();
+  ac.Finish(60);  // releases the reservation
+  EXPECT_TRUE(ac.Admit(60).ok());
+
+  AdmissionStats s = ac.Stats();
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.rejected_memory, 2u);
+  EXPECT_EQ(s.reserved_bytes, 60u);
+}
+
+TEST(AdmissionTest, BoundedQueue) {
+  AdmissionController ac(/*memory_budget_bytes=*/0, /*max_queue_depth=*/1);
+  ASSERT_TRUE(ac.Admit(1).ok());
+  Status full = ac.Admit(1);
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+
+  ac.StartRunning();  // queued -> running frees the queue slot
+  EXPECT_TRUE(ac.Admit(1).ok());
+
+  AdmissionStats s = ac.Stats();
+  EXPECT_EQ(s.rejected_queue_full, 1u);
+  EXPECT_EQ(s.queued_peak, 1u);
+  EXPECT_EQ(s.running, 1u);
+}
+
+TEST(AdmissionTest, UnavailableStatusString) {
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+// ---------------------------------------------------------------------
+// QueryService end-to-end
+// ---------------------------------------------------------------------
+
+TEST(QueryServiceTest, TwoSessionsConcurrentIndependentResults) {
+  ServiceOptions options;
+  options.worker_threads = 4;
+  QueryService service(options);
+  RegisterDocs(service.catalog(), MakeDocs());
+
+  // Session A: full rules, 3 partitions. Session B: rules off, serial —
+  // independent configurations against the shared catalog.
+  EngineOptions a_opts;
+  a_opts.exec.partitions = 3;
+  auto a = service.CreateSession(a_opts);
+  EngineOptions b_opts;
+  b_opts.rules = RuleOptions::None();
+  auto b = service.CreateSession(b_opts);
+
+  std::vector<QueryTicket> a_tickets, b_tickets;
+  for (int i = 0; i < 8; ++i) {
+    a_tickets.push_back(a->Submit(kSortedTailQuery));
+    b_tickets.push_back(b->Submit(kGroupQuery));
+  }
+  const std::vector<std::string> a_expected = {"59", "58", "57", "56", "55"};
+  const std::vector<std::string> b_expected = {"0", "1", "2", "3", "4"};
+  for (QueryTicket& t : a_tickets) {
+    ASSERT_TRUE(t.status().ok()) << t.status().ToString();
+    EXPECT_EQ(Rows(t.output()), a_expected);
+  }
+  for (QueryTicket& t : b_tickets) {
+    ASSERT_TRUE(t.status().ok()) << t.status().ToString();
+    EXPECT_EQ(Rows(t.output()), b_expected);
+  }
+
+  EXPECT_EQ(a->Stats().succeeded, 8u);
+  EXPECT_EQ(b->Stats().succeeded, 8u);
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.sessions, 2u);
+  EXPECT_EQ(m.submitted, 16u);
+  EXPECT_EQ(m.succeeded, 16u);
+  EXPECT_EQ(m.failed, 0u);
+}
+
+TEST(QueryServiceTest, RepeatedQueryIsAPlanCacheHit) {
+  QueryService service;
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto session = service.CreateSession();
+
+  QueryTicket first = session->Submit(kSortedTailQuery);
+  first.Wait();
+  ASSERT_TRUE(first.status().ok()) << first.status().ToString();
+  EXPECT_FALSE(first.plan_cache_hit());
+
+  QueryTicket second = session->Submit(kSortedTailQuery);
+  second.Wait();
+  ASSERT_TRUE(second.status().ok()) << second.status().ToString();
+  EXPECT_TRUE(second.plan_cache_hit());
+  EXPECT_EQ(Rows(second.output()), Rows(first.output()));
+
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.plan_cache.hits, 1u);
+  EXPECT_EQ(m.plan_cache.misses, 1u);
+}
+
+TEST(QueryServiceTest, CacheKeyedByOptionsNotJustText) {
+  QueryService service;
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto full = service.CreateSession();
+  EngineOptions none;
+  none.rules = RuleOptions::None();
+  auto bare = service.CreateSession(none);
+
+  full->Submit(kSortedTailQuery).Wait();
+  QueryTicket t = bare->Submit(kSortedTailQuery);
+  t.Wait();
+  // Same text, different rule set: must compile separately (the plans
+  // differ), not reuse the cached plan.
+  EXPECT_FALSE(t.plan_cache_hit());
+  EXPECT_EQ(service.Metrics().plan_cache.misses, 2u);
+}
+
+TEST(QueryServiceTest, PlanCacheEvictsAtCapacity) {
+  ServiceOptions options;
+  options.plan_cache_capacity = 2;
+  options.worker_threads = 1;
+  QueryService service(options);
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto session = service.CreateSession();
+
+  for (int threshold : {10, 20, 30}) {
+    std::string q = "for $d in collection(\"/c\") where $d(\"v\") gt " +
+                    std::to_string(threshold) + " return $d(\"v\")";
+    QueryTicket t = session->Submit(q);
+    ASSERT_TRUE(t.status().ok()) << t.status().ToString();
+  }
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.plan_cache.misses, 3u);
+  EXPECT_EQ(m.plan_cache.evictions, 1u);
+  EXPECT_EQ(m.plan_cache.entries, 2u);
+}
+
+// Holds queries inside on_query_start until Release() — makes the
+// admission tests deterministic: the gated query is pinned "in flight".
+class QueryGate {
+ public:
+  std::function<void(std::string_view)> Hook() {
+    return [this](std::string_view) {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++started_;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    };
+  }
+  void AwaitStarted(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return started_ >= n; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int started_ = 0;
+  bool released_ = false;
+};
+
+TEST(QueryServiceTest, MemoryBudgetRejectsWhileInFlightCompletes) {
+  QueryGate gate;
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.memory_budget_bytes = 100ull << 20;
+  options.on_query_start = gate.Hook();
+  // Each query reserves 60 MB of the 100 MB budget.
+  options.engine.exec.memory_limit_bytes = 60ull << 20;
+  QueryService service(options);
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto session = service.CreateSession();
+
+  QueryTicket in_flight = session->Submit(kSortedTailQuery);
+  gate.AwaitStarted(1);  // pinned on the worker, reservation held
+
+  QueryTicket rejected = session->Submit(kSortedTailQuery);
+  // Rejection is synchronous: no worker ever sees this query.
+  EXPECT_TRUE(rejected.done());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  gate.Release();
+  in_flight.Wait();
+  EXPECT_TRUE(in_flight.status().ok()) << in_flight.status().ToString();
+  EXPECT_EQ(Rows(in_flight.output()),
+            (std::vector<std::string>{"59", "58", "57", "56", "55"}));
+
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.admission.rejected_memory, 1u);
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.succeeded, 1u);
+  EXPECT_EQ(session->Stats().rejected, 1u);
+
+  // With the reservation released, the same submission is admitted.
+  QueryTicket retry = session->Submit(kSortedTailQuery);
+  retry.Wait();
+  EXPECT_TRUE(retry.status().ok()) << retry.status().ToString();
+}
+
+TEST(QueryServiceTest, FullQueueRejectsWithUnavailable) {
+  QueryGate gate;
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.max_queue_depth = 1;
+  options.on_query_start = gate.Hook();
+  QueryService service(options);
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto session = service.CreateSession();
+
+  QueryTicket running = session->Submit(kSortedTailQuery);
+  gate.AwaitStarted(1);  // running on the only worker, queue empty
+
+  QueryTicket queued = session->Submit(kSortedTailQuery);
+  QueryTicket overflow = session->Submit(kSortedTailQuery);
+  EXPECT_TRUE(overflow.done());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kUnavailable);
+
+  gate.Release();
+  EXPECT_TRUE(running.status().ok()) << running.status().ToString();
+  EXPECT_TRUE(queued.status().ok()) << queued.status().ToString();
+
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.admission.rejected_queue_full, 1u);
+  EXPECT_EQ(m.admission.queued_peak, 1u);
+}
+
+TEST(QueryServiceTest, InvalidExecOptionsRejectedAtAdmission) {
+  QueryService service;
+  RegisterDocs(service.catalog(), MakeDocs());
+
+  EngineOptions bad;
+  bad.exec.partitions = 0;
+  auto s1 = service.CreateSession(bad);
+  EXPECT_EQ(s1->Submit(kSortedTailQuery).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = EngineOptions();
+  bad.exec.frame_bytes = 0;
+  auto s2 = service.CreateSession(bad);
+  EXPECT_EQ(s2->Submit(kSortedTailQuery).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = EngineOptions();
+  bad.exec.cores_per_node = -2;
+  auto s3 = service.CreateSession(bad);
+  EXPECT_EQ(s3->Submit(kSortedTailQuery).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Nothing reached the workers or the admission queue.
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.rejected, 3u);
+  EXPECT_EQ(m.admission.admitted, 0u);
+}
+
+TEST(QueryServiceTest, CompileErrorsCompleteTheTicket) {
+  QueryService service;
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto session = service.CreateSession();
+  QueryTicket t = session->Submit("for $d in (((");
+  t.Wait();
+  EXPECT_FALSE(t.status().ok());
+  EXPECT_EQ(service.Metrics().failed, 1u);
+  // A failed compile must not poison the cache.
+  EXPECT_EQ(service.Metrics().plan_cache.entries, 0u);
+}
+
+TEST(QueryServiceTest, DrainWaitsForAllSubmitted) {
+  ServiceOptions options;
+  options.worker_threads = 2;
+  QueryService service(options);
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto session = service.CreateSession();
+
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 12; ++i) tickets.push_back(session->Submit(kGroupQuery));
+  service.Drain();
+  for (QueryTicket& t : tickets) {
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(t.status().ok()) << t.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency stress: service and bare-engine results must match the
+// sequential baseline exactly.
+// ---------------------------------------------------------------------
+
+std::vector<std::string> StressQueries() {
+  std::vector<std::string> queries;
+  for (int threshold : {0, 10, 20, 30, 40, 50}) {
+    queries.push_back(
+        "for $d in collection(\"/c\") where $d(\"v\") gt " +
+        std::to_string(threshold) +
+        " order by $d(\"v\") return $d(\"v\")");
+  }
+  queries.push_back(kGroupQuery);
+  return queries;
+}
+
+TEST(QueryServiceStressTest, ManyClientsMatchSequentialResults) {
+  const std::vector<std::string> docs = MakeDocs();
+  const std::vector<std::string> queries = StressQueries();
+
+  // Sequential baseline on a bare engine.
+  Engine baseline;
+  RegisterDocs(baseline.catalog(), docs);
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& q : queries) {
+    auto out = baseline.Run(q);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    expected.push_back(Rows(*out));
+  }
+
+  ServiceOptions options;
+  options.worker_threads = 4;
+  options.engine.exec.partitions = 2;
+  // This test measures correctness under load, not admission: keep the
+  // queue deep enough that nothing is rejected.
+  options.max_queue_depth = 1000;
+  QueryService service(options);
+  RegisterDocs(service.catalog(), docs);
+
+  constexpr int kClientThreads = 4;
+  constexpr int kQueriesPerClient = 20;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      auto session = service.CreateSession();
+      std::vector<std::pair<size_t, QueryTicket>> tickets;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        size_t qi = static_cast<size_t>(c + i) % queries.size();
+        tickets.emplace_back(qi, session->Submit(queries[qi]));
+      }
+      for (auto& [qi, ticket] : tickets) {
+        ticket.Wait();
+        std::string failure;
+        if (!ticket.status().ok()) {
+          failure = ticket.status().ToString();
+        } else if (Rows(ticket.output()) != expected[qi]) {
+          failure = "wrong rows for query " + std::to_string(qi);
+        }
+        if (!failure.empty()) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(std::move(failure));
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_TRUE(failures.empty()) << failures.front();
+
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.submitted, static_cast<uint64_t>(kClientThreads) *
+                             kQueriesPerClient);
+  EXPECT_EQ(m.succeeded, m.submitted);
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_EQ(m.failed, 0u);
+  // Every distinct (query, options) compiles at least once; everything
+  // else should hit (racing first-compiles may add a few misses).
+  EXPECT_EQ(m.plan_cache.hits + m.plan_cache.misses, m.submitted);
+  EXPECT_GE(m.plan_cache.misses, queries.size());
+  EXPECT_GT(m.plan_cache.hits, 0u);
+}
+
+TEST(QueryServiceStressTest, BareEngineConcurrentRunWithThreads) {
+  const std::vector<std::string> docs = MakeDocs();
+  const std::vector<std::string> queries = StressQueries();
+
+  Engine baseline;
+  RegisterDocs(baseline.catalog(), docs);
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& q : queries) {
+    auto out = baseline.Run(q);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    expected.push_back(Rows(*out));
+  }
+
+  // One shared engine, real partition threads, concurrent callers.
+  EngineOptions options;
+  options.exec.partitions = 4;
+  options.exec.use_threads = true;
+  Engine engine(options);
+  RegisterDocs(engine.catalog(), docs);
+
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 5;
+  std::vector<std::thread> callers;
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  for (int c = 0; c < kThreads; ++c) {
+    callers.emplace_back([&, c] {
+      for (int i = 0; i < kRepeats; ++i) {
+        size_t qi = static_cast<size_t>(c + i) % queries.size();
+        auto out = engine.Run(queries[qi]);
+        std::string failure;
+        if (!out.ok()) {
+          failure = out.status().ToString();
+        } else if (Rows(*out) != expected[qi]) {
+          failure = "wrong rows for query " + std::to_string(qi);
+        }
+        if (!failure.empty()) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(std::move(failure));
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_TRUE(failures.empty()) << failures.front();
+}
+
+}  // namespace
+}  // namespace jpar
