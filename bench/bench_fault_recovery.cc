@@ -1,0 +1,225 @@
+// Fault-injection and recovery characteristics of the query service:
+// (1) how fast a cooperative cancel stops a running scan, (2) service
+// behavior when each named fault point fires at increasing
+// probabilities — failure accounting, throughput under faults, and
+// proof that the service is quiescent (no leaked reservations) and
+// serves clean queries afterwards. Scaled by JPAR_BENCH_SCALE.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "runtime/query_context.h"
+#include "service/query_service.h"
+
+namespace jparbench {
+namespace {
+
+using jpar::FaultInjector;
+using jpar::QueryService;
+using jpar::QueryTicket;
+using jpar::ServiceMetrics;
+using jpar::ServiceOptions;
+using jpar::Status;
+using jpar::StatusCode;
+using jpar::StatusCodeToString;
+using jpar::SubmitOptions;
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// How long after Cancel() does a running query actually stop? The scan
+// is slowed with a per-file stall so the query would otherwise run for
+// hundreds of milliseconds; the gap between Cancel() and ticket
+// completion is the cancellation latency (one batch of work, per
+// DESIGN.md §8).
+void BenchCancelLatency(const Collection& data) {
+  PrintTableHeader(
+      "Cancellation latency: Cancel() -> ticket done, scan stalled per file",
+      {"stall/file", "cancel after", "abort latency", "query status"});
+
+  for (int stall_ms : {1, 5}) {
+    FaultInjector faults;
+    faults.ArmStall(FaultInjector::kScanIOError, stall_ms);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool started = false;
+    ServiceOptions options;
+    options.worker_threads = 1;
+    options.fault_injector = &faults;
+    options.on_query_start = [&](std::string_view) {
+      std::lock_guard<std::mutex> lock(mu);
+      started = true;
+      cv.notify_all();
+    };
+    QueryService service(options);
+    service.catalog()->RegisterCollection("/sensors", data);
+    auto session = service.CreateSession();
+
+    QueryTicket t = session->Submit(kQ0);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return started; });
+    }
+    // Let the scan crawl for a moment, then pull the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto cancel_at = std::chrono::steady_clock::now();
+    t.Cancel();
+    t.Wait();
+    double abort_ms = MsSince(cancel_at);
+
+    PrintTableRow({std::to_string(stall_ms) + " ms", "10 ms",
+                   FormatMs(abort_ms),
+                   std::string(StatusCodeToString(t.status().code()))});
+  }
+}
+
+// A workload of kQ1 group-bys with one fault point armed at increasing
+// probability: every query either succeeds or fails with the injected
+// error; afterwards the admission state must be fully released and a
+// clean query must succeed.
+void BenchFaultPoint(const Collection& data, std::string_view point,
+                     Status error) {
+  std::printf("\nFault point %.*s:\n", static_cast<int>(point.size()),
+              point.data());
+  PrintTableHeader(
+      "  20 x Q1 with the fault armed",
+      {"p(fault)", "wall", "ok", "failed", "injected", "recovered"});
+
+  for (double p : {0.0, 0.1, 0.5, 1.0}) {
+    FaultInjector faults(/*seed=*/1234);
+    ServiceOptions options;
+    options.worker_threads = 2;
+    options.max_queue_depth = 64;
+    options.fault_injector = &faults;
+    QueryService service(options);
+    service.catalog()->RegisterCollection("/sensors", data);
+    auto session = service.CreateSession();
+
+    if (p > 0) faults.ArmProbability(point, p, error);
+    auto start = std::chrono::steady_clock::now();
+    std::vector<QueryTicket> tickets;
+    for (int i = 0; i < 20; ++i) tickets.push_back(session->Submit(kQ1));
+    uint64_t ok = 0, failed = 0;
+    for (QueryTicket& t : tickets) {
+      Status st = t.status();
+      if (st.ok()) {
+        ++ok;
+      } else if (st.code() == error.code()) {
+        ++failed;
+      } else {
+        CheckOk(st, "unexpected failure under fault injection");
+      }
+    }
+    double wall_ms = MsSince(start);
+    uint64_t injected = faults.injected_count(point);
+
+    // Recovery: disarm, then the same service must serve Q1 cleanly
+    // with nothing leaked from the failed runs.
+    faults.Disarm(point);
+    service.Drain();
+    ServiceMetrics m = service.Metrics();
+    bool quiescent = m.admission.reserved_bytes == 0 &&
+                     m.admission.queued == 0 && m.admission.running == 0;
+    QueryTicket retry = session->Submit(kQ1);
+    bool recovered = quiescent && retry.status().ok();
+    if (!retry.status().ok()) CheckOk(retry.status(), "post-fault recovery");
+
+    char pbuf[16];
+    std::snprintf(pbuf, sizeof(pbuf), "%.1f", p);
+    PrintTableRow({pbuf, FormatMs(wall_ms), std::to_string(ok),
+                   std::to_string(failed), std::to_string(injected),
+                   recovered ? "yes" : "NO"});
+  }
+}
+
+// Everything at once: all fault points armed low-probability, deadlines
+// on half the submissions, sporadic cancels — the service must keep
+// balanced books and end quiescent.
+void BenchChaosMix(const Collection& data) {
+  FaultInjector faults(/*seed=*/99);
+  faults.ArmProbability(FaultInjector::kScanIOError, 0.05,
+                        Status::IOError("chaos: scan"));
+  faults.ArmProbability(FaultInjector::kExchangeFrameDrop, 0.02,
+                        Status::IOError("chaos: exchange"));
+  faults.ArmProbability(FaultInjector::kAllocFail, 0.02,
+                        Status::ResourceExhausted("chaos: alloc"));
+
+  ServiceOptions options;
+  options.worker_threads = 4;
+  options.max_queue_depth = 256;
+  options.fault_injector = &faults;
+  QueryService service(options);
+  service.catalog()->RegisterCollection("/sensors", data);
+
+  auto start = std::chrono::steady_clock::now();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 15;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, c] {
+      auto session = service.CreateSession();
+      for (int i = 0; i < kPerClient; ++i) {
+        const NamedQuery& q =
+            kAllQueries[static_cast<size_t>(c + i) %
+                        (sizeof(kAllQueries) / sizeof(kAllQueries[0]))];
+        SubmitOptions submit;
+        // Every other submission carries a (generous) deadline; 0
+        // falls back to the session default of none.
+        submit.deadline_ms = i % 2 == 0 ? 500 : 0;
+        QueryTicket t = session->Submit(q.text, submit);
+        if (i % 5 == 4) t.Cancel();
+        t.Wait();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double wall_ms = MsSince(start);
+  service.Drain();
+
+  ServiceMetrics m = service.Metrics();
+  std::printf(
+      "\nChaos mix: %d clients x %d queries, all faults armed, deadlines and "
+      "cancels in the mix (%s):\n%s",
+      kClients, kPerClient, FormatMs(wall_ms).c_str(), m.ToString().c_str());
+  bool balanced = m.succeeded + m.failed + m.rejected == m.submitted;
+  bool quiescent = m.admission.reserved_bytes == 0 && m.admission.queued == 0 &&
+                   m.admission.running == 0;
+  std::printf("books balanced: %s, admission quiescent: %s\n",
+              balanced ? "yes" : "NO", quiescent ? "yes" : "NO");
+  if (!balanced || !quiescent) {
+    CheckOk(Status::Internal("fault-recovery invariants violated"),
+            "chaos mix");
+  }
+}
+
+void Run() {
+  const Collection& data = SensorData(512 * 1024);
+
+  BenchCancelLatency(data);
+  BenchFaultPoint(data, FaultInjector::kScanIOError,
+                  Status::IOError("injected: scan read failed"));
+  BenchFaultPoint(data, FaultInjector::kExchangeFrameDrop,
+                  Status::IOError("injected: frame dropped"));
+  BenchFaultPoint(data, FaultInjector::kAllocFail,
+                  Status::ResourceExhausted("injected: allocation failed"));
+  BenchChaosMix(data);
+}
+
+}  // namespace
+}  // namespace jparbench
+
+int main() {
+  jparbench::Run();
+  return 0;
+}

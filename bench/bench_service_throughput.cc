@@ -3,19 +3,28 @@
 // the admission/cache counters are printed. This measures what the
 // single-shot figure benches cannot: amortization of compilation
 // across repeated queries and the cost of the session/admission path
-// under concurrency. Scaled by JPAR_BENCH_SCALE like every bench.
+// under concurrency. Also measures the overhead of the cooperative
+// cancellation/deadline checks (expected < 2% on a Q1-style group-by;
+// the ExecOptions::cooperative_checks=false knob exists only for this
+// comparison). Scaled by JPAR_BENCH_SCALE like every bench.
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "runtime/query_context.h"
 #include "service/query_service.h"
 
 namespace jparbench {
 namespace {
 
+using jpar::CancellationToken;
+using jpar::CompiledQuery;
+using jpar::ExecOptions;
+using jpar::QueryContext;
 using jpar::QueryService;
 using jpar::QueryTicket;
 using jpar::ServiceMetrics;
@@ -70,6 +79,52 @@ RunResult RunWorkload(const Collection& data, size_t plan_cache_capacity) {
   return r;
 }
 
+// Cost of the per-batch lifecycle checks on a Q1-style group-by: the
+// same compiled plan executed with cooperative_checks on (a live
+// cancellation token plus an armed deadline, so every check does its
+// full work: atomic load + clock read) and off. The check interval
+// (Executor::kCheckIntervalTuples) is sized so the delta stays below
+// 2%.
+void RunCheckOverhead(const Collection& data) {
+  EngineOptions options;
+  options.exec.network_gbps = 10.0;
+  Engine engine(options);
+  engine.catalog()->RegisterCollection("/sensors", data);
+  auto compiled = engine.Compile(kQ1);
+  CheckOk(compiled.status(), "compile Q1");
+
+  auto time_runs = [&](bool checks) {
+    ExecOptions exec = options.exec;
+    exec.cooperative_checks = checks;
+    QueryContext ctx;
+    ctx.set_cancellation(std::make_shared<CancellationToken>());
+    ctx.set_deadline_after_ms(10 * 60 * 1000.0);  // armed, never fires
+    // Warmup, then timed repeats.
+    CheckOk(engine.Execute(*compiled, exec, &ctx).status(), "warmup Q1");
+    int repeats = Repeats() * 3;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < repeats; ++i) {
+      CheckOk(engine.Execute(*compiled, exec, &ctx).status(), "timed Q1");
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count() /
+           repeats;
+  };
+
+  double off_ms = time_runs(false);
+  double on_ms = time_runs(true);
+  double overhead_pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+
+  PrintTableHeader(
+      "Cooperative check overhead: Q1 group-by, checks every 256 tuples",
+      {"lifecycle checks", "avg run", "overhead"});
+  PrintTableRow({"off", FormatMs(off_ms), "-"});
+  char pct[32];
+  std::snprintf(pct, sizeof(pct), "%+.2f%%", overhead_pct);
+  PrintTableRow({"on (token+deadline)", FormatMs(on_ms), pct});
+}
+
 void Run() {
   const Collection& data = SensorData(1024 * 1024);
 
@@ -89,6 +144,9 @@ void Run() {
   RunResult full = RunWorkload(data, 128);
   std::printf("\nFull metrics snapshot of the cached run:\n%s",
               full.metrics.ToString().c_str());
+
+  std::printf("\n");
+  RunCheckOverhead(data);
 }
 
 }  // namespace

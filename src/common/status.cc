@@ -2,6 +2,11 @@
 
 namespace jpar {
 
+static_assert(static_cast<int>(StatusCode::kDeadlineExceeded) + 1 ==
+                  kStatusCodeCount,
+              "added a StatusCode? bump kStatusCodeCount and name it in "
+              "StatusCodeToString");
+
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -24,6 +29,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

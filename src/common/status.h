@@ -22,7 +22,14 @@ enum class StatusCode : int {
   kIOError = 7,
   kInternal = 8,
   kUnavailable = 9,  // transient overload: retry later (queue full)
+  kCancelled = 10,         // the client cancelled the query
+  kDeadlineExceeded = 11,  // the query's deadline passed before it finished
 };
+
+/// One past the largest StatusCode value. status.cc static_asserts this
+/// against the enum and tests iterate [0, kStatusCodeCount) through
+/// StatusCodeToString, so a new code cannot land without a name.
+inline constexpr int kStatusCodeCount = 12;
 
 /// Returns a stable human-readable name for a status code.
 std::string_view StatusCodeToString(StatusCode code);
@@ -60,6 +67,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

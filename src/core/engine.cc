@@ -40,7 +40,15 @@ Result<QueryOutput> Engine::Execute(const CompiledQuery& query) const {
 
 Result<QueryOutput> Engine::Execute(const CompiledQuery& query,
                                     const ExecOptions& exec) const {
-  Executor executor(&catalog_, exec);
+  QueryContext ctx;
+  if (exec.deadline_ms > 0) ctx.set_deadline_after_ms(exec.deadline_ms);
+  return Execute(query, exec, &ctx);
+}
+
+Result<QueryOutput> Engine::Execute(const CompiledQuery& query,
+                                    const ExecOptions& exec,
+                                    QueryContext* ctx) const {
+  Executor executor(&catalog_, exec, ctx);
   return executor.Run(query.physical);
 }
 

@@ -67,9 +67,21 @@ class Engine {
   Result<QueryOutput> Execute(const CompiledQuery& query) const;
 
   /// Execute under explicit execution options (overriding the
-  /// engine-wide default for this call only).
+  /// engine-wide default for this call only). A positive
+  /// exec.deadline_ms starts counting when this call begins.
   Result<QueryOutput> Execute(const CompiledQuery& query,
                               const ExecOptions& exec) const;
+
+  /// Execute under an explicit query lifecycle: the context's
+  /// cancellation token, absolute deadline, and fault injector are
+  /// polled by every executor stage at batch granularity. The query
+  /// service uses this to make in-flight queries abortable; `ctx` may
+  /// be null. When a non-null ctx is passed, exec.deadline_ms is NOT
+  /// applied — the caller owns the deadline (the service computes an
+  /// absolute deadline at Submit() so queue wait counts).
+  Result<QueryOutput> Execute(const CompiledQuery& query,
+                              const ExecOptions& exec,
+                              QueryContext* ctx) const;
 
   /// Compile + Execute.
   Result<QueryOutput> Run(std::string_view query) const;

@@ -177,11 +177,38 @@ Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
 Status ProjectJsonStream(std::string_view text,
                          const std::vector<PathStep>& steps,
                          const std::function<Status(Item)>& sink,
-                         ProjectionStats* stats) {
-  JsonCursor cursor(text);
-  Projector projector(&cursor, steps, sink, stats);
-  while (!cursor.AtEnd()) {
-    JPAR_RETURN_NOT_OK(projector.Project(0, 0));
+                         ProjectionStats* stats,
+                         uint64_t* skipped_records) {
+  if (skipped_records == nullptr) {
+    // Strict mode: one cursor straight through the stream.
+    JsonCursor cursor(text);
+    Projector projector(&cursor, steps, sink, stats);
+    while (!cursor.AtEnd()) {
+      JPAR_RETURN_NOT_OK(projector.Project(0, 0));
+    }
+    if (stats != nullptr) stats->bytes_scanned += text.size();
+    return Status::OK();
+  }
+
+  // Lenient mode: each record gets a fresh cursor so a parse failure
+  // leaves a well-defined resync position (the next newline after the
+  // error).
+  size_t offset = 0;
+  while (offset < text.size()) {
+    std::string_view rest = text.substr(offset);
+    JsonCursor cursor(rest);
+    if (cursor.AtEnd()) break;
+    Projector projector(&cursor, steps, sink, stats);
+    Status st = projector.Project(0, 0);
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kParseError) return st;
+      ++*skipped_records;
+      size_t newline = rest.find('\n', cursor.position());
+      if (newline == std::string_view::npos) break;  // tail is unusable
+      offset += newline + 1;
+      continue;
+    }
+    offset += cursor.position();
   }
   if (stats != nullptr) stats->bytes_scanned += text.size();
   return Status::OK();

@@ -78,10 +78,20 @@ Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
 /// documents: the path is applied to each document in turn. This is
 /// what DATASCAN actually runs — collection files may hold one
 /// document or many (NDJSON).
+///
+/// Degraded-scan mode: when `skipped_records` is non-null, a record
+/// that fails with kParseError (malformed JSON, or a parse-typed error
+/// raised by the sink against that record's values) does not fail the
+/// stream; the reader counts it, resynchronizes at the next newline,
+/// and continues with the following record. Any other error code
+/// (cancellation, memory, IO, sink failures) still aborts the stream.
+/// Note the resynchronization is line-based, so recovery is only
+/// well-defined for newline-delimited input.
 Status ProjectJsonStream(std::string_view text,
                          const std::vector<PathStep>& steps,
                          const std::function<Status(Item)>& sink,
-                         ProjectionStats* stats = nullptr);
+                         ProjectionStats* stats = nullptr,
+                         uint64_t* skipped_records = nullptr);
 
 /// In-memory analogue of ProjectJson: walks `steps[from..]` over an
 /// already materialized item, emitting each match. Used by scans over

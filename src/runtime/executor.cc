@@ -180,6 +180,9 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
   std::vector<uint64_t> task_items(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_boundary_bytes(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_max_tuple(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_skipped(static_cast<size_t>(pcount), 0);
+  const bool lenient_scan =
+      options_.on_parse_error == ParseErrorPolicy::kSkipAndCount;
 
   auto run_task = [&](int p) {
     auto start = Clock::now();
@@ -191,14 +194,28 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
       out.push_back(std::move(t));
       return Status::OK();
     };
-    Status st;
-    if (leaf && node.scan.kind == ScanDesc::Kind::kDataScan) {
+    // One huge NDJSON file is a single partition task: poll the
+    // lifecycle every kCheckIntervalTuples emitted items, not only at
+    // file boundaries.
+    uint64_t& items = task_items[static_cast<size_t>(p)];
+    auto item_check = [&]() -> Status {
+      if (++items % kCheckIntervalTuples == 0) {
+        return Interrupted("pipeline");
+      }
+      return Status::OK();
+    };
+    Status st = Fault(FaultInjector::kWorkerStall);
+    if (leaf && node.scan.kind == ScanDesc::Kind::kDataScan && st.ok()) {
       // Files (or the index-pruned subset) are assigned to partitions
       // round-robin.
       size_t file_count =
           file_filter != nullptr ? file_filter->size() : coll->files.size();
       for (size_t i = static_cast<size_t>(p); i < file_count;
            i += static_cast<size_t>(pcount)) {
+        st = Interrupted("pipeline scan");
+        if (!st.ok()) break;
+        st = Fault(FaultInjector::kScanIOError);
+        if (!st.ok()) break;
         const JsonFile& file =
             file_filter != nullptr
                 ? coll->files[static_cast<size_t>((*file_filter)[i])]
@@ -214,7 +231,7 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
           }
           st = NavigateItemPath(*doc, node.scan.steps, 0,
                                 [&](Item item) -> Status {
-                                  ++task_items[static_cast<size_t>(p)];
+                                  JPAR_RETURN_NOT_OK(item_check());
                                   return RunChain(node.ops, 0,
                                                   Tuple{std::move(item)},
                                                   &ctx, sink);
@@ -230,19 +247,28 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
         std::shared_ptr<const std::string> text = *text_result;
         task_bytes[static_cast<size_t>(p)] += text->size();
         // Collection files are document streams: one document or many
-        // (NDJSON / concatenated JSON).
+        // (NDJSON / concatenated JSON). In lenient mode malformed
+        // records are skipped and counted instead of failing the scan.
         st = ProjectJsonStream(
-            *text, node.scan.steps, [&](Item item) -> Status {
-              ++task_items[static_cast<size_t>(p)];
+            *text, node.scan.steps,
+            [&](Item item) -> Status {
+              JPAR_RETURN_NOT_OK(item_check());
               return RunChain(node.ops, 0, Tuple{std::move(item)}, &ctx,
                               sink);
-            });
+            },
+            nullptr,
+            lenient_scan ? &task_skipped[static_cast<size_t>(p)] : nullptr);
         if (!st.ok()) break;
       }
-    } else if (leaf) {
+    } else if (st.ok() && leaf) {
       st = RunChain(node.ops, 0, Tuple{}, &ctx, sink);
-    } else {
+    } else if (st.ok()) {
+      uint64_t processed = 0;
       for (Tuple& t : input.parts[static_cast<size_t>(p)]) {
+        if (++processed % kCheckIntervalTuples == 0) {
+          st = Interrupted("pipeline");
+          if (!st.ok()) break;
+        }
         st = RunChain(node.ops, 0, std::move(t), &ctx, sink);
         if (!st.ok()) break;
       }
@@ -268,6 +294,7 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
     JPAR_RETURN_NOT_OK(task_status[static_cast<size_t>(p)]);
     stats->bytes_scanned += task_bytes[static_cast<size_t>(p)];
     stats->items_scanned += task_items[static_cast<size_t>(p)];
+    stats->skipped_records += task_skipped[static_cast<size_t>(p)];
     stage.pipeline_bytes += task_boundary_bytes[static_cast<size_t>(p)];
     if (task_max_tuple[static_cast<size_t>(p)] > stage.max_tuple_bytes) {
       stage.max_tuple_bytes = task_max_tuple[static_cast<size_t>(p)];
@@ -306,6 +333,7 @@ Result<Executor::PartitionSet> Executor::Exchange(
   std::string encoded;
   std::vector<double> src_ms(input.parts.size(), 0.0);
   for (size_t src = 0; src < input.parts.size(); ++src) {
+    JPAR_RETURN_NOT_OK(Interrupted("exchange"));
     auto src_start = Clock::now();
     for (const Tuple& tuple : input.parts[src]) {
       JPAR_RETURN_NOT_OK(
@@ -324,7 +352,11 @@ Result<Executor::PartitionSet> Executor::Exchange(
   uint64_t critical_stream_frames = 0;  // frames on the slowest stream
   std::vector<double> dst_ms(static_cast<size_t>(pcount), 0.0);
   for (size_t src = 0; src < builders.size(); ++src) {
+    JPAR_RETURN_NOT_OK(Interrupted("exchange"));
     for (int dst = 0; dst < pcount; ++dst) {
+      // Each (src, dst) frame stream is one network transfer in the
+      // modeled cluster — the natural place to lose frames.
+      JPAR_RETURN_NOT_OK(Fault(FaultInjector::kExchangeFrameDrop));
       FrameBuilder& b = builders[src][static_cast<size_t>(dst)];
       stage->exchange_bytes += b.total_bytes();
       stage->exchange_tuples += b.tuple_count();
@@ -395,12 +427,17 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
       std::unordered_map<std::string, GroupState> table;
       std::string encoded;
       Tuple key_items;
+      uint64_t processed = 0;
       for (const Tuple& tuple : input.parts[p]) {
+        if (++processed % kCheckIntervalTuples == 0) {
+          JPAR_RETURN_NOT_OK(Interrupted("group-by build"));
+        }
         JPAR_RETURN_NOT_OK(
             EncodeKey(node.keys, tuple, &ctx, &encoded, &key_items));
         auto [it, inserted] = table.try_emplace(encoded);
         if (inserted) {
           it->second.key_items = key_items;
+          JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
           JPAR_RETURN_NOT_OK(memory.Allocate(encoded.size() + 64));
           for (const AggSpec& spec : node.aggs) {
             JPAR_ASSIGN_OR_RETURN(
@@ -461,12 +498,17 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
     std::string encoded;
     Tuple key_items;
     AggStep step = can_two_step ? AggStep::kGlobal : AggStep::kComplete;
+    uint64_t processed = 0;
     for (const Tuple& tuple : exchanged.parts[p]) {
+      if (++processed % kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Interrupted("group-by build"));
+      }
       JPAR_RETURN_NOT_OK(
           EncodeKey(exchange_keys, tuple, &ctx, &encoded, &key_items));
       auto [it, inserted] = table.try_emplace(encoded);
       if (inserted) {
         it->second.key_items = key_items;
+        JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
         JPAR_RETURN_NOT_OK(memory.Allocate(encoded.size() + 64));
         for (const AggSpec& spec : node.aggs) {
           JPAR_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
@@ -539,15 +581,23 @@ Result<Executor::PartitionSet> Executor::ExecJoin(const PNode& node,
     std::string encoded;
     const std::vector<Tuple>& build = right_ex.parts[p];
     for (size_t i = 0; i < build.size(); ++i) {
+      if ((i + 1) % kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Interrupted("join build"));
+      }
       JPAR_RETURN_NOT_OK(
           EncodeKey(node.right_keys, build[i], &ctx, &encoded, nullptr));
       table[encoded].push_back(i);
+      JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
       JPAR_RETURN_NOT_OK(
           memory.Allocate(TupleSizeBytes(build[i]) + encoded.size()));
     }
     (void)nkeys;
     // Probe with the left side.
+    uint64_t probed = 0;
     for (const Tuple& probe : left_ex.parts[p]) {
+      if (++probed % kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Interrupted("join probe"));
+      }
       JPAR_RETURN_NOT_OK(
           EncodeKey(node.left_keys, probe, &ctx, &encoded, nullptr));
       auto it = table.find(encoded);
@@ -597,10 +647,15 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
   std::vector<int> key_classes(node.sort_keys.size(), INT_MIN);
   std::vector<std::vector<Keyed>> sorted(input.parts.size());
   for (size_t p = 0; p < input.parts.size(); ++p) {
+    JPAR_RETURN_NOT_OK(Interrupted("sort"));
     auto start = Clock::now();
     std::vector<Keyed>& rows = sorted[p];
     rows.reserve(input.parts[p].size());
+    uint64_t keyed_rows = 0;
     for (Tuple& t : input.parts[p]) {
+      if (++keyed_rows % kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Interrupted("sort"));
+      }
       Keyed k;
       for (const ScalarEvalPtr& key : node.sort_keys) {
         JPAR_ASSIGN_OR_RETURN(Item v, key->Eval(t, &ctx));
@@ -663,7 +718,11 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
     }
     return false;
   };
+  uint64_t merged = 0;
   while (true) {
+    if (++merged % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("sort merge"));
+    }
     int best = -1;
     for (size_t p = 0; p < sorted.size(); ++p) {
       if (cursor[p] >= sorted[p].size()) continue;
@@ -704,6 +763,17 @@ Status ValidateExecOptions(const ExecOptions& options) {
   if (options.frame_bytes == 0) {
     return Status::InvalidArgument("frame_bytes must be > 0");
   }
+  if (options.deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "deadline_ms must be >= 0 (0 = no deadline), got " +
+        std::to_string(options.deadline_ms));
+  }
+  if (options.on_parse_error != ParseErrorPolicy::kFail &&
+      options.on_parse_error != ParseErrorPolicy::kSkipAndCount) {
+    return Status::InvalidArgument(
+        "unknown on_parse_error policy: " +
+        std::to_string(static_cast<int>(options.on_parse_error)));
+  }
   return Status::OK();
 }
 
@@ -712,6 +782,9 @@ Result<QueryOutput> Executor::Run(const PhysicalPlan& plan) const {
     return Status::InvalidArgument("physical plan has no root");
   }
   JPAR_RETURN_NOT_OK(ValidateExecOptions(options_));
+  // A query cancelled (or past its deadline) before execution starts
+  // never touches the catalog.
+  JPAR_RETURN_NOT_OK(Interrupted("startup"));
   auto start = Clock::now();
   QueryOutput out;
   JPAR_ASSIGN_OR_RETURN(PartitionSet result, Exec(*plan.root, &out.stats));

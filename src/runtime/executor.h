@@ -9,6 +9,7 @@
 #include "runtime/catalog.h"
 #include "runtime/memory.h"
 #include "runtime/operators.h"
+#include "runtime/query_context.h"
 #include "runtime/stats.h"
 #include "runtime/tuple.h"
 
@@ -77,6 +78,16 @@ struct PhysicalPlan {
   std::string ToString() const;
 };
 
+/// What a DATASCAN does when a collection record fails to parse.
+enum class ParseErrorPolicy : uint8_t {
+  /// The whole query fails with kParseError (strict; the default).
+  kFail = 0,
+  /// The malformed record is skipped, counted in
+  /// ExecStats::skipped_records, and the scan resynchronizes at the
+  /// next newline — one bad line must not fail an 800 GB NDJSON scan.
+  kSkipAndCount = 1,
+};
+
 struct ExecOptions {
   /// Total data parallelism (scan partitions and exchange fan-out) —
   /// nodes x partitions-per-node in the paper's terms.
@@ -101,14 +112,26 @@ struct ExecOptions {
   /// Simulated interconnect for cross-node exchange bytes.
   double network_gbps = 1.0;
   double network_latency_ms_per_frame = 0.05;
+  /// Relative deadline in milliseconds. Through the query service the
+  /// clock starts at Submit() (queue wait counts); through
+  /// Engine::Execute it starts when execution begins. 0 = none;
+  /// negative values are rejected by ValidateExecOptions.
+  double deadline_ms = 0;
+  /// Malformed-record policy for DATASCAN (see ParseErrorPolicy).
+  ParseErrorPolicy on_parse_error = ParseErrorPolicy::kFail;
+  /// Cooperative cancellation/deadline/fault checks at batch
+  /// granularity. On by default; turning them off exists only so
+  /// bench_service_throughput can measure their cost.
+  bool cooperative_checks = true;
 };
 
 /// Checks an ExecOptions for values that would make execution
 /// meaningless or divide by zero (`partitions >= 1`,
-/// `partitions_per_node >= 1`, `cores_per_node >= 1`, `frame_bytes > 0`).
-/// Called by Executor::Run and by the query service at admission, so
-/// bad options fail fast with InvalidArgument instead of relying on
-/// inline guards deep in the executor.
+/// `partitions_per_node >= 1`, `cores_per_node >= 1`, `frame_bytes > 0`)
+/// and for nonsensical robustness knobs (`deadline_ms >= 0`, a known
+/// `on_parse_error` value). Called by Executor::Run and by the query
+/// service at admission, so bad options fail fast with InvalidArgument
+/// instead of relying on inline guards deep in the executor.
 Status ValidateExecOptions(const ExecOptions& options);
 
 /// Result rows plus the execution statistics the benchmarks plot.
@@ -121,10 +144,26 @@ struct QueryOutput {
 
 /// Executes physical plans against a catalog. Stateless between runs;
 /// safe to reuse.
+///
+/// The optional QueryContext makes execution abortable: every stage
+/// polls ctx->Check() at frame/batch granularity (each scanned file,
+/// every kCheckIntervalTuples tuples through a pipeline / build / probe
+/// / sort loop, each exchanged source partition), so a cancel or an
+/// expired deadline surfaces within one batch of work, and fault
+/// points fire where the corresponding real failure would occur.
 class Executor {
  public:
-  Executor(const Catalog* catalog, ExecOptions options)
-      : catalog_(catalog), options_(options) {}
+  /// Tuples processed between cooperative checks. Small enough that a
+  /// cancel lands promptly, large enough that the check (an atomic load
+  /// plus, with a deadline, a clock read) is amortized to noise — the
+  /// bench_service_throughput guard pins the overhead below 2%.
+  static constexpr uint64_t kCheckIntervalTuples = 256;
+
+  Executor(const Catalog* catalog, ExecOptions options,
+           QueryContext* ctx = nullptr)
+      : catalog_(catalog),
+        options_(options),
+        ctx_(options.cooperative_checks ? ctx : nullptr) {}
 
   Result<QueryOutput> Run(const PhysicalPlan& plan) const;
 
@@ -152,8 +191,18 @@ class Executor {
                     : 1);
   }
 
+  /// The cooperative cancellation/deadline poll; OK without a context.
+  Status Interrupted(const char* stage) const {
+    return ctx_ != nullptr ? ctx_->Check(stage) : Status::OK();
+  }
+  /// Fault-injection hook; OK without a context or injector.
+  Status Fault(std::string_view point) const {
+    return ctx_ != nullptr ? ctx_->Fault(point) : Status::OK();
+  }
+
   const Catalog* catalog_;
   ExecOptions options_;
+  QueryContext* ctx_;  // not owned; null = no lifecycle checks
 };
 
 }  // namespace jpar

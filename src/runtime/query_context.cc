@@ -1,0 +1,93 @@
+#include "runtime/query_context.h"
+
+#include <thread>
+#include <utility>
+
+namespace jpar {
+
+FaultInjector::Point& FaultInjector::PointFor(std::string_view name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(name), Point()).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::ArmProbability(std::string_view point, double p,
+                                   Status error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& pt = PointFor(point);
+  pt.probability = p;
+  pt.error = std::move(error);
+}
+
+void FaultInjector::ArmAfter(std::string_view point, uint64_t nth,
+                             Status error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& pt = PointFor(point);
+  pt.fire_on_hit = nth;
+  pt.error = std::move(error);
+}
+
+void FaultInjector::ArmStall(std::string_view point, int stall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointFor(point).stall_ms = stall_ms;
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& pt = PointFor(point);
+  pt.probability = 0;
+  pt.fire_on_hit = 0;
+  pt.stall_ms = 0;
+  pt.error = Status::OK();
+}
+
+Status FaultInjector::Hit(std::string_view point) {
+  int stall_ms = 0;
+  Status injected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Point& pt = PointFor(point);
+    ++pt.hits;
+    stall_ms = pt.stall_ms;
+    bool fire = pt.fire_on_hit != 0 && pt.hits == pt.fire_on_hit;
+    if (!fire && pt.probability > 0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      fire = dist(rng_) < pt.probability;
+    }
+    if (fire && !pt.error.ok()) {
+      ++pt.injected;
+      injected = pt.error;
+    }
+  }
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  return injected;
+}
+
+uint64_t FaultInjector::hit_count(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::injected_count(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.injected;
+}
+
+Status QueryContext::Check(const char* stage) const {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status::Cancelled(std::string("query cancelled during ") + stage);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        std::string("query deadline exceeded during ") + stage);
+  }
+  return Status::OK();
+}
+
+}  // namespace jpar

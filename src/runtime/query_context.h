@@ -1,0 +1,146 @@
+#ifndef JPAR_RUNTIME_QUERY_CONTEXT_H_
+#define JPAR_RUNTIME_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace jpar {
+
+/// A cooperative cancellation flag shared between the client-facing
+/// handle (QueryTicket) and the execution threads. Cancellation is a
+/// one-way latch: once set it stays set. Thread-safe; cheap to poll.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Deterministic fault injection for robustness tests and the
+/// bench_fault_recovery harness. The engine calls Hit(point) at named
+/// fault points; an armed point returns its configured error (always,
+/// with a probability, or once on the Nth hit) or stalls the calling
+/// thread. Unarmed points only count hits. Thread-safe; the RNG is
+/// seeded so probabilistic runs are reproducible.
+class FaultInjector {
+ public:
+  // The engine's fault-point catalog (see DESIGN.md §8).
+  static constexpr std::string_view kScanIOError = "scan.io_error";
+  static constexpr std::string_view kExchangeFrameDrop =
+      "exchange.frame_drop";
+  static constexpr std::string_view kWorkerStall = "worker.stall";
+  static constexpr std::string_view kAllocFail = "alloc.fail";
+
+  explicit FaultInjector(uint64_t seed = 0) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `point` to return `error` on each hit with probability `p`
+  /// (p >= 1.0 fires every time).
+  void ArmProbability(std::string_view point, double p, Status error);
+
+  /// Arms `point` to return `error` exactly once, on its `nth` hit
+  /// (1-based, counted from the injector's construction).
+  void ArmAfter(std::string_view point, uint64_t nth, Status error);
+
+  /// Arms `point` to sleep `stall_ms` on every hit (still returns OK
+  /// unless an error is also armed). Models a stuck worker: paired with
+  /// a deadline or cancellation in tests.
+  void ArmStall(std::string_view point, int stall_ms);
+
+  /// Clears everything armed at `point`; hit counters are kept.
+  void Disarm(std::string_view point);
+
+  /// The engine-side entry: counts the hit and returns the armed error
+  /// (or OK). Stalls happen outside the internal lock.
+  Status Hit(std::string_view point);
+
+  uint64_t hit_count(std::string_view point) const;
+  uint64_t injected_count(std::string_view point) const;
+
+ private:
+  struct Point {
+    double probability = 0;
+    uint64_t fire_on_hit = 0;  // 1-based hit index; 0 = disarmed
+    int stall_ms = 0;
+    Status error;
+    uint64_t hits = 0;
+    uint64_t injected = 0;
+  };
+
+  Point& PointFor(std::string_view name);  // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+/// Everything a running query needs to know about its own lifecycle:
+/// an optional cancellation token, an optional absolute deadline, and
+/// an optional fault injector. Threaded from QueryService::Submit
+/// through Engine::Execute into every Executor stage; the executor
+/// polls Check() at frame/batch granularity so a cancel or an expired
+/// deadline stops the query within one batch of work.
+///
+/// Copyable and cheap; safe to read from many partition threads
+/// concurrently (the token is atomic, the injector locks internally).
+class QueryContext {
+ public:
+  QueryContext() = default;
+
+  void set_cancellation(std::shared_ptr<CancellationToken> token) {
+    cancel_ = std::move(token);
+  }
+  const std::shared_ptr<CancellationToken>& cancellation() const {
+    return cancel_;
+  }
+
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  /// Deadline `ms` from now (convenience for Engine::Execute and tests).
+  void set_deadline_after_ms(double ms) {
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(ms)));
+  }
+  bool has_deadline() const { return has_deadline_; }
+
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
+
+  /// The cooperative cancellation point: kCancelled if the token is
+  /// set, kDeadlineExceeded if the deadline passed, OK otherwise.
+  /// `stage` names where execution was interrupted (for the message).
+  Status Check(const char* stage) const;
+
+  /// Fault-injection hook: forwards to the injector when present.
+  Status Fault(std::string_view point) const {
+    return faults_ != nullptr ? faults_->Hit(point) : Status::OK();
+  }
+
+ private:
+  std::shared_ptr<CancellationToken> cancel_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  FaultInjector* faults_ = nullptr;  // not owned
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_QUERY_CONTEXT_H_

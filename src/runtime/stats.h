@@ -67,6 +67,9 @@ struct ExecStats {
   uint64_t items_scanned = 0;
   uint64_t result_rows = 0;
   uint64_t peak_retained_bytes = 0;
+  /// Malformed records skipped by degraded scans
+  /// (ExecOptions::on_parse_error == kSkipAndCount); 0 in strict mode.
+  uint64_t skipped_records = 0;
 
   void Merge(const StageStats& stage) { stages.push_back(stage); }
 };

@@ -33,11 +33,17 @@ bool QueryTicket::plan_cache_hit() const {
   return state_->cache_hit;
 }
 
+void QueryTicket::Cancel() { state_->cancel->Cancel(); }
+
 // ---------------------------------------------------------------------
 // Session
 
 QueryTicket Session::Submit(std::string query) {
-  return service_->SubmitInternal(this, std::move(query));
+  return service_->SubmitInternal(this, std::move(query), SubmitOptions());
+}
+
+QueryTicket Session::Submit(std::string query, const SubmitOptions& options) {
+  return service_->SubmitInternal(this, std::move(query), options);
 }
 
 SessionStats Session::Stats() const {
@@ -93,7 +99,30 @@ void QueryService::Complete(const std::shared_ptr<QueryTicket::State>& state,
   state->cv.notify_all();
 }
 
-QueryTicket QueryService::SubmitInternal(Session* session, std::string query) {
+namespace {
+
+/// Releases an admission reservation on scope exit — the ONLY way a
+/// worker returns its queue slot and memory, so every exit path
+/// (success, compile error, execution error, injected fault, cancel,
+/// deadline) releases exactly once.
+class AdmissionRelease {
+ public:
+  AdmissionRelease(AdmissionController* admission, uint64_t cost)
+      : admission_(admission), cost_(cost) {}
+  ~AdmissionRelease() { admission_->Finish(cost_); }
+
+  AdmissionRelease(const AdmissionRelease&) = delete;
+  AdmissionRelease& operator=(const AdmissionRelease&) = delete;
+
+ private:
+  AdmissionController* admission_;
+  uint64_t cost_;
+};
+
+}  // namespace
+
+QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
+                                         const SubmitOptions& submit) {
   ++submitted_;
   ++session->submitted_;
 
@@ -106,12 +135,29 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query) {
                       ? opts.exec.memory_limit_bytes
                       : options_.default_query_cost_bytes;
   Status st = ValidateExecOptions(opts.exec);
+  if (st.ok() && submit.deadline_ms < 0) {
+    st = Status::InvalidArgument(
+        "SubmitOptions::deadline_ms must be >= 0, got " +
+        std::to_string(submit.deadline_ms));
+  }
   if (st.ok()) st = admission_.Admit(cost);
   if (!st.ok()) {
     ++rejected_;
     ++session->rejected_;
     Complete(state, std::move(st), QueryOutput(), false);
     return ticket;
+  }
+
+  // The deadline clock starts now: time queued behind other work
+  // counts against the submission, matching what a client timing out
+  // on the call would observe.
+  double deadline_ms =
+      submit.deadline_ms > 0 ? submit.deadline_ms : opts.exec.deadline_ms;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(deadline_ms));
   }
 
   {
@@ -124,32 +170,50 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query) {
   // the client drops its handle right after Submit().
   std::shared_ptr<Session> self = session->shared_from_this();
   pool_.Submit([this, self, state, query = std::move(query),
-                key = std::move(key), cost]() {
+                key = std::move(key), cost, deadline]() {
     admission_.StartRunning();
-    if (options_.on_query_start) options_.on_query_start(query);
-    const EngineOptions& opts = self->options();
-
-    std::shared_ptr<const CompiledQuery> plan = plan_cache_.Lookup(key);
-    bool cache_hit = plan != nullptr;
     Status st;
-    if (!cache_hit) {
-      Result<CompiledQuery> compiled = engine_.Compile(query, opts.rules);
-      if (compiled.ok()) {
-        plan = std::make_shared<const CompiledQuery>(
-            *std::move(compiled));
-        plan_cache_.Insert(key, plan);
-      } else {
-        st = compiled.status();
-      }
-    }
-
     QueryOutput output;
-    if (st.ok()) {
-      Result<QueryOutput> result = engine_.Execute(*plan, opts.exec);
-      if (result.ok()) {
-        output = *std::move(result);
-      } else {
-        st = result.status();
+    bool cache_hit = false;
+    {
+      // Scoped so the reservation is released before the ticket
+      // completes: a client that observes done() must also observe the
+      // queue slot and memory returned.
+      AdmissionRelease release(&admission_, cost);
+      if (options_.on_query_start) options_.on_query_start(query);
+      const EngineOptions& opts = self->options();
+
+      QueryContext ctx;
+      ctx.set_cancellation(state->cancel);
+      if (deadline.has_value()) ctx.set_deadline(*deadline);
+      ctx.set_fault_injector(options_.fault_injector);
+
+      // Cancelled or timed out while waiting for a worker: don't
+      // compile, don't execute.
+      st = ctx.Check("admission queue");
+
+      std::shared_ptr<const CompiledQuery> plan;
+      if (st.ok()) {
+        plan = plan_cache_.Lookup(key);
+        cache_hit = plan != nullptr;
+        if (!cache_hit) {
+          Result<CompiledQuery> compiled = engine_.Compile(query, opts.rules);
+          if (compiled.ok()) {
+            plan = std::make_shared<const CompiledQuery>(*std::move(compiled));
+            plan_cache_.Insert(key, plan);
+          } else {
+            st = compiled.status();
+          }
+        }
+      }
+
+      if (st.ok()) {
+        Result<QueryOutput> result = engine_.Execute(*plan, opts.exec, &ctx);
+        if (result.ok()) {
+          output = *std::move(result);
+        } else {
+          st = result.status();
+        }
       }
     }
 
@@ -159,8 +223,9 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query) {
     } else {
       ++failed_;
       ++self->failed_;
+      if (st.code() == StatusCode::kCancelled) ++cancelled_;
+      if (st.code() == StatusCode::kDeadlineExceeded) ++deadline_exceeded_;
     }
-    admission_.Finish(cost);
     Complete(state, std::move(st), std::move(output), cache_hit);
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
@@ -180,6 +245,8 @@ ServiceMetrics QueryService::Metrics() const {
   m.rejected = rejected_.load();
   m.succeeded = succeeded_.load();
   m.failed = failed_.load();
+  m.cancelled = cancelled_.load();
+  m.deadline_exceeded = deadline_exceeded_.load();
   return m;
 }
 
@@ -196,6 +263,8 @@ std::string ServiceMetrics::ToString() const {
   line("submitted", submitted);
   line("succeeded", succeeded);
   line("failed", failed);
+  line("cancelled", cancelled);
+  line("deadline exceeded", deadline_exceeded);
   line("rejected", rejected);
   line("sessions", sessions);
   out += "plan cache:\n";

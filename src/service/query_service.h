@@ -2,15 +2,18 @@
 #define JPAR_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "core/engine.h"
+#include "runtime/query_context.h"
 #include "service/admission.h"
 #include "service/plan_cache.h"
 #include "service/worker_pool.h"
@@ -43,6 +46,20 @@ struct ServiceOptions {
   /// query starts executing (tracing, fault injection, test
   /// synchronization). Must be thread-safe.
   std::function<void(std::string_view query)> on_query_start;
+  /// Fault injector threaded into every executed query's
+  /// QueryContext. Not owned; must outlive the service. Null (the
+  /// default) injects nothing — used by the fault-injection tests and
+  /// bench_fault_recovery.
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// Per-submission knobs (Session::Submit's second argument).
+struct SubmitOptions {
+  /// Deadline in milliseconds measured from Submit() — time spent
+  /// waiting in the admission queue counts against it. 0 falls back to
+  /// the session's ExecOptions::deadline_ms (also measured from
+  /// Submit); negative is rejected with kInvalidArgument.
+  double deadline_ms = 0;
 };
 
 /// One query's progress through the service: a future-like handle
@@ -53,6 +70,13 @@ class QueryTicket {
   /// Blocks until the query completes (or was rejected).
   void Wait() const;
   bool done() const;
+
+  /// Requests cooperative cancellation. Never blocks: execution stops
+  /// at its next lifecycle check (within one batch of work) and the
+  /// ticket completes with kCancelled; a query still waiting for a
+  /// worker is cancelled before it executes. Idempotent, safe from any
+  /// thread, a no-op once the query is done.
+  void Cancel();
 
   /// The final status. Blocks until done.
   Status status() const;
@@ -72,6 +96,10 @@ class QueryTicket {
     Status status;
     QueryOutput output;
     bool cache_hit = false;
+    /// Shared with the worker's QueryContext; created eagerly so
+    /// Cancel() works on every ticket (rejected ones included).
+    std::shared_ptr<CancellationToken> cancel =
+        std::make_shared<CancellationToken>();
   };
 
   QueryTicket() : state_(std::make_shared<State>()) {}
@@ -98,6 +126,8 @@ class Session : public std::enable_shared_from_this<Session> {
   /// execution: rejected submissions return an already-completed
   /// ticket.
   QueryTicket Submit(std::string query);
+  /// Submit with per-submission options (e.g. a deadline).
+  QueryTicket Submit(std::string query, const SubmitOptions& options);
 
   uint64_t id() const { return id_; }
   const EngineOptions& options() const { return options_; }
@@ -127,6 +157,9 @@ struct ServiceMetrics {
   uint64_t rejected = 0;   // failed validation or admission
   uint64_t succeeded = 0;
   uint64_t failed = 0;     // executed but returned an error
+  // Failure breakdown (both are included in `failed`).
+  uint64_t cancelled = 0;          // ended with kCancelled
+  uint64_t deadline_exceeded = 0;  // ended with kDeadlineExceeded
 
   /// Multi-line human-readable dump (used by bench_service_throughput).
   std::string ToString() const;
@@ -176,7 +209,8 @@ class QueryService {
  private:
   friend class Session;
 
-  QueryTicket SubmitInternal(Session* session, std::string query);
+  QueryTicket SubmitInternal(Session* session, std::string query,
+                             const SubmitOptions& submit);
   void Complete(const std::shared_ptr<QueryTicket::State>& state, Status status,
                 QueryOutput output, bool cache_hit);
 
@@ -191,6 +225,8 @@ class QueryService {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> succeeded_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
 
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;

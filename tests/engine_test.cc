@@ -160,6 +160,45 @@ TEST(EngineTest, SensorSelectionQueryQ0) {
   }
 }
 
+// Degraded scans end-to-end: one corrupt line in an NDJSON collection
+// fails the whole query under the strict default, but is skipped and
+// counted under ParseErrorPolicy::kSkipAndCount.
+TEST(EngineTest, DegradedScanSkipsCorruptNdjsonLines) {
+  auto make_engine = [](ParseErrorPolicy policy) {
+    EngineOptions options;
+    options.exec.on_parse_error = policy;
+    Engine engine(options);
+    Collection c;
+    c.files.push_back(JsonFile::FromText(
+        "{\"v\": 1}\n{\"v\": 2}\n{corrupt line\n{\"v\": 4}\n"));
+    c.files.push_back(JsonFile::FromText("{\"v\": 5}\nalso corrupt\n"));
+    engine.catalog()->RegisterCollection("/dirty", std::move(c));
+    return engine;
+  };
+  const char* query =
+      R"(for $d in collection("/dirty") return $d("v"))";
+
+  Engine strict = make_engine(ParseErrorPolicy::kFail);
+  auto failed = strict.Run(query);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kParseError);
+
+  Engine lenient = make_engine(ParseErrorPolicy::kSkipAndCount);
+  auto out = lenient.Run(query);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->items.size(), 4u);
+  EXPECT_EQ(out->items[0], Item::Int64(1));
+  EXPECT_EQ(out->items[3], Item::Int64(5));
+  EXPECT_EQ(out->stats.skipped_records, 2u);
+}
+
+TEST(EngineTest, CleanScanReportsZeroSkippedRecords) {
+  Engine engine = MakeBookstoreEngine();
+  auto out = engine.Run(R"(collection("/books")("bookstore")("book")())");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.skipped_records, 0u);
+}
+
 TEST(EngineTest, ExecutionStatsArePopulated) {
   Engine engine = MakeBookstoreEngine();
   auto result = engine.Run(R"(collection("/books")("bookstore")("book")())");

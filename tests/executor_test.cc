@@ -290,5 +290,64 @@ TEST(LptMakespanTest, SchedulesOntoCores) {
   EXPECT_DOUBLE_EQ(LptMakespanMs({2.5}, 0), 2.5);
 }
 
+TEST(ValidateExecOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateExecOptions(ExecOptions()).ok());
+}
+
+TEST(ValidateExecOptionsTest, RejectsDegenerateParallelism) {
+  ExecOptions o;
+  o.partitions = 0;
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  o = ExecOptions();
+  o.partitions_per_node = 0;
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  o = ExecOptions();
+  o.cores_per_node = -1;
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  o = ExecOptions();
+  o.frame_bytes = 0;
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateExecOptionsTest, RejectsNegativeDeadline) {
+  ExecOptions o;
+  o.deadline_ms = -1;
+  Status st = ValidateExecOptions(o);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("deadline"), std::string::npos)
+      << st.ToString();
+  // Zero means "no deadline" and is fine.
+  o.deadline_ms = 0;
+  EXPECT_TRUE(ValidateExecOptions(o).ok());
+}
+
+TEST(ValidateExecOptionsTest, RejectsUnknownParseErrorPolicy) {
+  ExecOptions o;
+  o.on_parse_error = static_cast<ParseErrorPolicy>(99);
+  Status st = ValidateExecOptions(o);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("on_parse_error"), std::string::npos)
+      << st.ToString();
+  // Both named policies pass.
+  o.on_parse_error = ParseErrorPolicy::kFail;
+  EXPECT_TRUE(ValidateExecOptions(o).ok());
+  o.on_parse_error = ParseErrorPolicy::kSkipAndCount;
+  EXPECT_TRUE(ValidateExecOptions(o).ok());
+}
+
+TEST(ValidateExecOptionsTest, ExecutorRunRejectsBadRobustnessKnobs) {
+  // The validation is wired into Run, not just the service: a bare
+  // executor with a negative deadline fails before touching the plan.
+  Catalog catalog = MakeCatalog();
+  ExecOptions o;
+  o.deadline_ms = -5;
+  Executor executor(&catalog, o);
+  PhysicalPlan plan;
+  plan.root = ScanRows();
+  auto out = executor.Run(plan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace jpar

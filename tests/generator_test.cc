@@ -16,14 +16,16 @@ TEST(SensorGeneratorTest, ProducesValidStructuredJson) {
   std::string text = GenerateSensorFile(spec, 0);
   auto doc = ParseJson(text);
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
-  const Item& root = *doc->GetField("root");
+  // GetField returns optional<Item> by value; copy fields out rather
+  // than binding references into expiring temporaries.
+  const Item root = *doc->GetField("root");
   ASSERT_TRUE(root.is_array());
   ASSERT_EQ(root.array().size(), 5u);
   for (const Item& record : root.array()) {
     // Listing 6's structure: metadata{count} + results[...].
-    const Item& metadata = *record.GetField("metadata");
+    const Item metadata = *record.GetField("metadata");
     EXPECT_EQ(*metadata.GetField("count"), Item::Int64(7));
-    const Item& results = *record.GetField("results");
+    const Item results = *record.GetField("results");
     ASSERT_TRUE(results.is_array());
     ASSERT_EQ(results.array().size(), 7u);
     for (const Item& m : results.array()) {

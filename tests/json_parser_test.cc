@@ -32,7 +32,9 @@ TEST(JsonParserTest, StringEscapes) {
 TEST(JsonParserTest, NestedStructures) {
   auto item = ParseJson(R"({"a": [1, {"b": null}, []], "c": {}})");
   ASSERT_TRUE(item.ok());
-  const Item& a = *item->GetField("a");
+  // GetField returns optional<Item> by value; copy it out rather than
+  // binding a reference into the expiring temporary.
+  const Item a = *item->GetField("a");
   ASSERT_TRUE(a.is_array());
   ASSERT_EQ(a.array().size(), 3u);
   EXPECT_EQ(*a.array()[1].GetField("b"), Item::Null());

@@ -78,9 +78,11 @@ std::vector<Measurement> ExtractMeasurements(const Collection& collection) {
     EXPECT_TRUE(text.ok());
     auto doc = ParseJson(**text);
     EXPECT_TRUE(doc.ok());
-    const Item& root = *doc->GetField("root");
+    // GetField returns optional<Item> by value; copy fields out rather
+    // than binding references into expiring temporaries.
+    const Item root = *doc->GetField("root");
     for (const Item& record : root.array()) {
-      const Item& results = *record.GetField("results");
+      const Item results = *record.GetField("results");
       for (const Item& m : results.array()) {
         out.push_back({m.GetField("date")->string_value(),
                        m.GetField("dataType")->string_value(),

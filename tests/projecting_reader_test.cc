@@ -160,6 +160,96 @@ TEST(ProjectingReaderTest, AgreesWithDomNavigation) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Degraded-scan mode: ProjectJsonStream with a skipped_records counter.
+// ---------------------------------------------------------------------
+
+struct LenientRun {
+  Status status;
+  std::vector<Item> items;
+  uint64_t skipped = 0;
+};
+
+LenientRun StreamLenient(std::string_view text, std::vector<PathStep> steps) {
+  LenientRun run;
+  run.status = ProjectJsonStream(
+      text, steps,
+      [&](Item item) {
+        run.items.push_back(std::move(item));
+        return Status::OK();
+      },
+      /*stats=*/nullptr, &run.skipped);
+  return run;
+}
+
+TEST(DegradedScanTest, StrictModeFailsOnMalformedRecord) {
+  const char* ndjson = "{\"v\": 1}\nnot json at all\n{\"v\": 3}\n";
+  Status st = ProjectJsonStream(ndjson, {PathStep::Key("v")},
+                                [](Item) { return Status::OK(); });
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(DegradedScanTest, LenientModeSkipsAndCounts) {
+  const char* ndjson = "{\"v\": 1}\nnot json at all\n{\"v\": 3}\n";
+  LenientRun run = StreamLenient(ndjson, {PathStep::Key("v")});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  ASSERT_EQ(run.items.size(), 2u);
+  EXPECT_EQ(run.items[0], Item::Int64(1));
+  EXPECT_EQ(run.items[1], Item::Int64(3));
+  EXPECT_EQ(run.skipped, 1u);
+}
+
+TEST(DegradedScanTest, MultipleBadLinesEachCountOnce) {
+  const char* ndjson =
+      "{\"v\": 1}\n{broken\n{\"v\": 2}\n}also broken{\n{\"v\": 3}\n";
+  LenientRun run = StreamLenient(ndjson, {PathStep::Key("v")});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_EQ(run.items.size(), 3u);
+  EXPECT_EQ(run.skipped, 2u);
+}
+
+TEST(DegradedScanTest, BadFinalLineWithoutNewlineStopsCleanly) {
+  // No newline to resynchronize at: the stream ends after counting the
+  // bad record instead of spinning.
+  const char* ndjson = "{\"v\": 1}\n{truncated";
+  LenientRun run = StreamLenient(ndjson, {PathStep::Key("v")});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_EQ(run.items.size(), 1u);
+  EXPECT_EQ(run.skipped, 1u);
+}
+
+TEST(DegradedScanTest, AllRecordsBadYieldsEmptyStream) {
+  LenientRun run = StreamLenient("nope\nstill nope\n", {PathStep::Key("v")});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_TRUE(run.items.empty());
+  EXPECT_EQ(run.skipped, 2u);
+}
+
+TEST(DegradedScanTest, CleanStreamSkipsNothing) {
+  LenientRun run =
+      StreamLenient("{\"v\": 1}\n{\"v\": 2}\n", {PathStep::Key("v")});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_EQ(run.items.size(), 2u);
+  EXPECT_EQ(run.skipped, 0u);
+}
+
+TEST(DegradedScanTest, NonParseSinkErrorsStillAbort) {
+  // Lenient mode only forgives kParseError; a failing sink (e.g. a
+  // cancelled or out-of-memory downstream) aborts the stream.
+  uint64_t skipped = 0;
+  int calls = 0;
+  Status st = ProjectJsonStream(
+      "{\"v\": 1}\n{\"v\": 2}\n", {PathStep::Key("v")},
+      [&](Item) {
+        ++calls;
+        return Status::ResourceExhausted("sink full");
+      },
+      nullptr, &skipped);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(skipped, 0u);
+}
+
 TEST(PathStepTest, ToStringForms) {
   EXPECT_EQ(PathStep::Key("a").ToString(), "(\"a\")");
   EXPECT_EQ(PathStep::Index(3).ToString(), "(3)");

@@ -1,0 +1,211 @@
+// Unit tests for the query lifecycle primitives (src/runtime/
+// query_context.h): the cancellation token latch, deadline checks, and
+// the deterministic FaultInjector. End-to-end lifecycle behaviour
+// (cancel/deadline through the service, fault matrix per stage) lives
+// in fault_injection_test.cc.
+
+#include "runtime/query_context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace jpar {
+namespace {
+
+// ---------------------------------------------------------------------
+// CancellationToken
+// ---------------------------------------------------------------------
+
+TEST(CancellationTokenTest, LatchesAndStaysSet) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, VisibleAcrossThreads) {
+  auto token = std::make_shared<CancellationToken>();
+  std::thread setter([token] { token->Cancel(); });
+  setter.join();
+  EXPECT_TRUE(token->cancelled());
+}
+
+// ---------------------------------------------------------------------
+// QueryContext::Check
+// ---------------------------------------------------------------------
+
+TEST(QueryContextTest, EmptyContextAlwaysOk) {
+  QueryContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.Check("anywhere").ok());
+  // No injector: fault points are free no-ops.
+  EXPECT_TRUE(ctx.Fault(FaultInjector::kScanIOError).ok());
+}
+
+TEST(QueryContextTest, CancelledTokenYieldsKCancelled) {
+  QueryContext ctx;
+  auto token = std::make_shared<CancellationToken>();
+  ctx.set_cancellation(token);
+  EXPECT_TRUE(ctx.Check("pipeline").ok());
+
+  token->Cancel();
+  Status st = ctx.Check("pipeline");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // The stage name makes it into the message for diagnosability.
+  EXPECT_NE(st.message().find("pipeline"), std::string::npos);
+}
+
+TEST(QueryContextTest, ExpiredDeadlineYieldsKDeadlineExceeded) {
+  QueryContext ctx;
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  ASSERT_TRUE(ctx.has_deadline());
+  Status st = ctx.Check("sort merge");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("sort merge"), std::string::npos);
+}
+
+TEST(QueryContextTest, FutureDeadlineIsOk) {
+  QueryContext ctx;
+  ctx.set_deadline_after_ms(60'000);  // a minute: never expires in-test
+  EXPECT_TRUE(ctx.Check("group-by build").ok());
+}
+
+TEST(QueryContextTest, CancellationWinsOverDeadline) {
+  // Both conditions true: cancellation is reported (the explicit client
+  // action, checked first).
+  QueryContext ctx;
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  ctx.set_cancellation(token);
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_EQ(ctx.Check("x").code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectorTest, UnarmedPointsOnlyCountHits) {
+  FaultInjector faults;
+  EXPECT_EQ(faults.hit_count(FaultInjector::kScanIOError), 0u);
+  EXPECT_TRUE(faults.Hit(FaultInjector::kScanIOError).ok());
+  EXPECT_TRUE(faults.Hit(FaultInjector::kScanIOError).ok());
+  EXPECT_EQ(faults.hit_count(FaultInjector::kScanIOError), 2u);
+  EXPECT_EQ(faults.injected_count(FaultInjector::kScanIOError), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneFiresEveryHit) {
+  FaultInjector faults;
+  faults.ArmProbability(FaultInjector::kScanIOError, 1.0,
+                        Status::IOError("injected"));
+  for (int i = 0; i < 3; ++i) {
+    Status st = faults.Hit(FaultInjector::kScanIOError);
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+  }
+  EXPECT_EQ(faults.injected_count(FaultInjector::kScanIOError), 3u);
+}
+
+TEST(FaultInjectorTest, ProbabilityZeroNeverFires) {
+  FaultInjector faults;
+  faults.ArmProbability(FaultInjector::kAllocFail, 0.0,
+                        Status::ResourceExhausted("never"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(faults.Hit(FaultInjector::kAllocFail).ok());
+  }
+  EXPECT_EQ(faults.injected_count(FaultInjector::kAllocFail), 0u);
+}
+
+TEST(FaultInjectorTest, SeededProbabilisticRunsAreReproducible) {
+  auto run = [](uint64_t seed) {
+    FaultInjector faults(seed);
+    faults.ArmProbability("p", 0.5, Status::IOError("x"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!faults.Hit("p").ok());
+    return fired;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // astronomically unlikely to collide
+}
+
+TEST(FaultInjectorTest, ArmAfterFiresExactlyOnceOnNthHit) {
+  FaultInjector faults;
+  faults.ArmAfter("nth", 3, Status::IOError("third"));
+  EXPECT_TRUE(faults.Hit("nth").ok());
+  EXPECT_TRUE(faults.Hit("nth").ok());
+  EXPECT_EQ(faults.Hit("nth").code(), StatusCode::kIOError);
+  EXPECT_TRUE(faults.Hit("nth").ok());  // one-shot
+  EXPECT_EQ(faults.hit_count("nth"), 4u);
+  EXPECT_EQ(faults.injected_count("nth"), 1u);
+}
+
+TEST(FaultInjectorTest, ArmAfterCountsFromConstruction) {
+  FaultInjector faults;
+  EXPECT_TRUE(faults.Hit("late").ok());  // hit 1, before arming
+  faults.ArmAfter("late", 2, Status::IOError("second"));
+  EXPECT_EQ(faults.Hit("late").code(), StatusCode::kIOError);  // hit 2
+}
+
+TEST(FaultInjectorTest, StallDelaysButReturnsOk) {
+  FaultInjector faults;
+  faults.ArmStall("slow", /*stall_ms=*/20);
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(faults.Hit("slow").ok());
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 15);  // allow scheduler slop below 20ms
+}
+
+TEST(FaultInjectorTest, DisarmStopsInjectionKeepsCounters) {
+  FaultInjector faults;
+  faults.ArmProbability("d", 1.0, Status::IOError("x"));
+  EXPECT_FALSE(faults.Hit("d").ok());
+  faults.Disarm("d");
+  EXPECT_TRUE(faults.Hit("d").ok());
+  EXPECT_EQ(faults.hit_count("d"), 2u);
+  EXPECT_EQ(faults.injected_count("d"), 1u);
+}
+
+TEST(FaultInjectorTest, PointsAreIndependent) {
+  FaultInjector faults;
+  faults.ArmProbability(FaultInjector::kExchangeFrameDrop, 1.0,
+                        Status::IOError("drop"));
+  EXPECT_TRUE(faults.Hit(FaultInjector::kWorkerStall).ok());
+  EXPECT_FALSE(faults.Hit(FaultInjector::kExchangeFrameDrop).ok());
+}
+
+TEST(FaultInjectorTest, ConcurrentHitsAreSafe) {
+  FaultInjector faults;
+  faults.ArmProbability("race", 0.5, Status::IOError("x"));
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&faults] {
+      for (int i = 0; i < kHitsPerThread; ++i) faults.Hit("race");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(faults.hit_count("race"),
+            static_cast<uint64_t>(kThreads) * kHitsPerThread);
+}
+
+TEST(FaultInjectorTest, FaultThroughContextForwardsToInjector) {
+  FaultInjector faults;
+  faults.ArmProbability(FaultInjector::kScanIOError, 1.0,
+                        Status::IOError("via ctx"));
+  QueryContext ctx;
+  ctx.set_fault_injector(&faults);
+  EXPECT_EQ(ctx.Fault(FaultInjector::kScanIOError).code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(faults.hit_count(FaultInjector::kScanIOError), 1u);
+}
+
+}  // namespace
+}  // namespace jpar

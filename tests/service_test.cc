@@ -477,6 +477,83 @@ TEST(QueryServiceStressTest, ManyClientsMatchSequentialResults) {
   EXPECT_GT(m.plan_cache.hits, 0u);
 }
 
+// Clients hammer Submit while a dedicated thread cancels every other
+// ticket as fast as it can. Run under TSan in CI: the point is that
+// Cancel racing execution, completion, and Drain is data-race-free,
+// and that every ticket still resolves to success or kCancelled with
+// balanced counters.
+TEST(QueryServiceStressTest, CancelRacingExecutionIsCleanAndBalanced) {
+  ServiceOptions options;
+  options.worker_threads = 4;
+  options.max_queue_depth = 1000;
+  QueryService service(options);
+  RegisterDocs(service.catalog(), MakeDocs());
+
+  constexpr int kClientThreads = 4;
+  constexpr int kQueriesPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      auto session = service.CreateSession();
+      const std::vector<std::string> queries = StressQueries();
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        size_t qi = static_cast<size_t>(c + i) % queries.size();
+        QueryTicket t = session->Submit(queries[qi]);
+        // Odd submissions race a cancel against the running query;
+        // either outcome (finished first or cancelled) is legal.
+        if (i % 2 == 1) t.Cancel();
+        Status st = t.status();
+        if (!st.ok() && st.code() != StatusCode::kCancelled) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(st.ToString());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_TRUE(failures.empty()) << failures.front();
+
+  service.Drain();
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.submitted,
+            static_cast<uint64_t>(kClientThreads) * kQueriesPerClient);
+  EXPECT_EQ(m.succeeded + m.failed, m.submitted);
+  EXPECT_EQ(m.failed, m.cancelled);  // cancels are the only failures
+  EXPECT_EQ(m.admission.reserved_bytes, 0u);
+  EXPECT_EQ(m.admission.queued, 0u);
+  EXPECT_EQ(m.admission.running, 0u);
+}
+
+// Destroying the service with queries still in flight — some of them
+// just cancelled, some still queued — must drain cleanly rather than
+// orphan workers or deadlock; the tickets outlive the service and all
+// resolve.
+TEST(QueryServiceStressTest, DestructionWithInFlightCancelledQueriesDrains) {
+  std::vector<QueryTicket> tickets;
+  {
+    ServiceOptions options;
+    options.worker_threads = 2;
+    options.max_queue_depth = 1000;
+    QueryService service(options);
+    RegisterDocs(service.catalog(), MakeDocs());
+    auto session = service.CreateSession();
+
+    for (int i = 0; i < 30; ++i) {
+      tickets.push_back(session->Submit(kGroupQuery));
+      if (i % 3 == 0) tickets.back().Cancel();
+    }
+    // The destructor drains in-flight work, then stops the pool.
+  }
+  for (QueryTicket& t : tickets) {
+    EXPECT_TRUE(t.done());
+    Status st = t.status();
+    EXPECT_TRUE(st.ok() || st.code() == StatusCode::kCancelled)
+        << st.ToString();
+  }
+}
+
 TEST(QueryServiceStressTest, BareEngineConcurrentRunWithThreads) {
   const std::vector<std::string> docs = MakeDocs();
   const std::vector<std::string> queries = StressQueries();
