@@ -10,6 +10,7 @@
 #include "json/binary_serde.h"
 #include "json/parser.h"
 #include "json/projecting_reader.h"
+#include "json/structural_index.h"
 
 namespace {
 
@@ -30,25 +31,75 @@ void BM_ParseJsonDom(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseJsonDom);
 
-void BM_ProjectedScanDates(benchmark::State& state) {
+void ProjectedScan(benchmark::State& state,
+                   const std::vector<jpar::PathStep>& steps,
+                   jpar::ScanMode mode) {
   std::string text = MakeFile();
-  std::vector<jpar::PathStep> steps = {
-      jpar::PathStep::Key("root"), jpar::PathStep::KeysOrMembers(),
-      jpar::PathStep::Key("results"), jpar::PathStep::KeysOrMembers(),
-      jpar::PathStep::Key("date")};
   for (auto _ : state) {
     size_t count = 0;
-    auto st = jpar::ProjectJson(text, steps, [&](jpar::Item) {
-      ++count;
-      return jpar::Status::OK();
-    });
+    auto st = jpar::ProjectJson(
+        text, steps,
+        [&](jpar::Item) {
+          ++count;
+          return jpar::Status::OK();
+        },
+        nullptr, mode);
     benchmark::DoNotOptimize(count);
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(text.size()));
 }
+
+std::vector<jpar::PathStep> DatePath() {
+  return {jpar::PathStep::Key("root"), jpar::PathStep::KeysOrMembers(),
+          jpar::PathStep::Key("results"), jpar::PathStep::KeysOrMembers(),
+          jpar::PathStep::Key("date")};
+}
+
+/// Q0-style selection: one shallow field per record, everything else
+/// (the fat "results" arrays) is SkipValue'd — the shape where the
+/// quote/op bitmaps pay off most.
+std::vector<jpar::PathStep> SkipHeavyPath() {
+  return {jpar::PathStep::Key("root"), jpar::PathStep::KeysOrMembers(),
+          jpar::PathStep::Key("metadata"), jpar::PathStep::Key("count")};
+}
+
+void BM_ProjectedScanDates(benchmark::State& state) {
+  ProjectedScan(state, DatePath(), jpar::ScanMode::kIndexed);
+}
 BENCHMARK(BM_ProjectedScanDates);
+
+void BM_ProjectedScanDatesScalar(benchmark::State& state) {
+  ProjectedScan(state, DatePath(), jpar::ScanMode::kScalar);
+}
+BENCHMARK(BM_ProjectedScanDatesScalar);
+
+void BM_ProjectedScanSkipHeavy(benchmark::State& state) {
+  ProjectedScan(state, SkipHeavyPath(), jpar::ScanMode::kIndexed);
+}
+BENCHMARK(BM_ProjectedScanSkipHeavy);
+
+void BM_ProjectedScanSkipHeavyScalar(benchmark::State& state) {
+  ProjectedScan(state, SkipHeavyPath(), jpar::ScanMode::kScalar);
+}
+BENCHMARK(BM_ProjectedScanSkipHeavyScalar);
+
+void BM_StructuralIndexBuild(benchmark::State& state) {
+  std::string text = MakeFile();
+  jpar::SimdLevel level =
+      jpar::SupportedSimdLevels()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(jpar::SimdLevelName(level));
+  for (auto _ : state) {
+    jpar::StructuralIndex idx = jpar::StructuralIndex::Build(text, level);
+    benchmark::DoNotOptimize(idx);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StructuralIndexBuild)
+    ->DenseRange(0, static_cast<int64_t>(
+                        jpar::SupportedSimdLevels().size() - 1));
 
 void BM_BinarySerde(benchmark::State& state) {
   std::string text = MakeFile();

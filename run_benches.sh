@@ -1,6 +1,8 @@
 #!/bin/sh
 # Runs every bench binary, appending to bench_output.txt. Pass a start
-# index to resume.
+# index to resume. bench_scan_throughput additionally writes
+# BENCH_scan_throughput.json (scan GB/s per kernel + morsel scaling)
+# into the repo root so the perf trajectory is machine-readable.
 set -u
 start=${1:-0}
 i=0
@@ -12,3 +14,5 @@ for b in build/bench/*; do
   fi
   i=$((i + 1))
 done
+[ -f BENCH_scan_throughput.json ] && \
+  echo "scan throughput record: BENCH_scan_throughput.json"

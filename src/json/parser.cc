@@ -35,9 +35,30 @@ Status JsonCursor::Expect(char c) {
   return Status::OK();
 }
 
+size_t JsonCursor::IndexNextQuote(size_t local_pos) const {
+  size_t abs = index_->NextQuote(index_offset_ + local_pos);
+  if (abs == StructuralIndex::npos) return StructuralIndex::npos;
+  return abs - index_offset_;
+}
+
 Result<std::string> JsonCursor::ParseString() {
   SkipWhitespace();
   if (!Consume('"')) return ErrorHere("expected string");
+  if (index_ != nullptr) {
+    size_t close = IndexNextQuote(pos_);
+    if (close == StructuralIndex::npos) {
+      pos_ = text_.size();
+      return ErrorHere("unterminated string");
+    }
+    if (std::memchr(text_.data() + pos_, '\\', close - pos_) == nullptr) {
+      // Escape-free string: one bulk copy instead of a byte loop.
+      std::string fast(text_.substr(pos_, close - pos_));
+      pos_ = close + 1;
+      return fast;
+    }
+    // Escapes present: decode with the scalar loop (it stops at the
+    // same unescaped quote the bitmap found).
+  }
   std::string out;
   while (pos_ < text_.size()) {
     char c = text_[pos_++];
@@ -215,7 +236,113 @@ Result<Item> JsonCursor::ParseValue(int depth) {
   }
 }
 
+/// Skips the string at the cursor (cursor at '"') via the quote bitmap:
+/// no materialization, no byte loop. Escape sequences in the skipped
+/// body are not validated (the bitmap already excluded escaped quotes).
+Status JsonCursor::SkipString() {
+  ++pos_;  // opening quote
+  size_t close = IndexNextQuote(pos_);
+  if (close == StructuralIndex::npos) {
+    pos_ = text_.size();
+    return ErrorHere("unterminated string");
+  }
+  pos_ = close + 1;
+  return Status::OK();
+}
+
+/// Validates-and-skips a number or literal token, mirroring the scalar
+/// grammar (and its error messages) without converting the number.
+Status JsonCursor::SkipAtom() {
+  char c = Peek();
+  if (c == 't') {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return Status::OK();
+    }
+    return ErrorHere("invalid literal");
+  }
+  if (c == 'f') {
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return Status::OK();
+    }
+    return ErrorHere("invalid literal");
+  }
+  if (c == 'n') {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return Status::OK();
+    }
+    return ErrorHere("invalid literal");
+  }
+  if (c == '-' || IsDigit(c)) {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (IsDigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!IsDigit(Peek())) return ErrorHere("digit expected after '.'");
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!IsDigit(Peek())) return ErrorHere("digit expected in exponent");
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return ErrorHere("invalid number");
+    }
+    return Status::OK();
+  }
+  return ErrorHere("unexpected character");
+}
+
+/// SkipValue against the structural index: the same automaton as the
+/// scalar path (same structural validation, same error taxonomy), but
+/// strings — including every skipped object key — hop quote-to-quote
+/// via the bitmap instead of being scanned and materialized.
+Status JsonCursor::SkipValueIndexed(int depth) {
+  if (depth > kMaxDepth) return ErrorHere("document too deeply nested");
+  SkipWhitespace();
+  switch (Peek()) {
+    case '{': {
+      ++pos_;
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      while (true) {
+        SkipWhitespace();
+        if (Peek() != '"') return ErrorHere("expected string");
+        JPAR_RETURN_NOT_OK(SkipString());
+        JPAR_RETURN_NOT_OK(Expect(':'));
+        JPAR_RETURN_NOT_OK(SkipValueIndexed(depth + 1));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume('}')) return Status::OK();
+        return ErrorHere("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++pos_;
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      while (true) {
+        JPAR_RETURN_NOT_OK(SkipValueIndexed(depth + 1));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume(']')) return Status::OK();
+        return ErrorHere("expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      return SkipString();
+    default:
+      return SkipAtom();
+  }
+}
+
 Status JsonCursor::SkipValue(int depth) {
+  if (index_ != nullptr) return SkipValueIndexed(depth);
   if (depth > kMaxDepth) return ErrorHere("document too deeply nested");
   SkipWhitespace();
   char c = Peek();

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "json/item.h"
+#include "json/structural_index.h"
 
 namespace jpar {
 
@@ -25,12 +26,26 @@ class JsonCursor {
  public:
   explicit JsonCursor(std::string_view text) : text_(text) {}
 
+  /// Indexed cursor (the stage-2 side of DESIGN.md §9). `index` must
+  /// have been built over the buffer that contains `text`, with `text`
+  /// starting at byte `index_offset` of that buffer — the projecting
+  /// stream reader uses a nonzero offset for per-record cursors in
+  /// degraded scans. With an index, SkipValue hops structural-to-
+  /// structural and string scanning jumps quote-to-quote instead of
+  /// inspecting every byte. One deliberate relaxation: escape sequences
+  /// inside *skipped* strings are not validated (materialized strings
+  /// still are) — structural malformations are still caught.
+  JsonCursor(std::string_view text, const StructuralIndex* index,
+             size_t index_offset = 0)
+      : text_(text), index_(index), index_offset_(index_offset) {}
+
   /// Parses one JSON value at the cursor into a DOM Item.
   Result<Item> ParseValue(int depth = 0);
 
   /// Skips one JSON value without materializing it. This is what makes
   /// path-projected scans cheap: non-matching subtrees are scanned
-  /// byte-by-byte but never allocated.
+  /// (byte-by-byte without an index, structural-to-structural with one)
+  /// but never allocated.
   Status SkipValue(int depth = 0);
 
   /// Parses a JSON string at the cursor (cursor must be at '"').
@@ -60,8 +75,16 @@ class JsonCursor {
   Result<Item> ParseNumber();
   Status Expect(char c);
 
+  /// Indexed helpers (require index_ != nullptr).
+  size_t IndexNextQuote(size_t local_pos) const;
+  Status SkipString();
+  Status SkipAtom();
+  Status SkipValueIndexed(int depth);
+
   std::string_view text_;
   size_t pos_ = 0;
+  const StructuralIndex* index_ = nullptr;  // not owned; null = scalar
+  size_t index_offset_ = 0;
 };
 
 }  // namespace jpar

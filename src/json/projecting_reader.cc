@@ -1,5 +1,7 @@
 #include "json/projecting_reader.h"
 
+#include <cstring>
+
 #include "json/parser.h"
 
 namespace jpar {
@@ -161,10 +163,33 @@ class Projector {
 
 }  // namespace
 
+namespace {
+
+/// Raw-byte newline search used by degraded-scan resync. Deliberately
+/// NOT the index's outside-string newline bitmap: after a malformed
+/// record the in-string mask is unreliable, and resync must land on the
+/// same byte in both scan modes.
+size_t FindNewline(std::string_view text, size_t from) {
+  if (from >= text.size()) return std::string_view::npos;
+  const void* hit =
+      std::memchr(text.data() + from, '\n', text.size() - from);
+  if (hit == nullptr) return std::string_view::npos;
+  return static_cast<size_t>(static_cast<const char*>(hit) - text.data());
+}
+
+}  // namespace
+
 Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
                    const std::function<Status(Item)>& sink,
-                   ProjectionStats* stats) {
-  JsonCursor cursor(text);
+                   ProjectionStats* stats, ScanMode mode) {
+  StructuralIndex index;
+  const StructuralIndex* idx = nullptr;
+  if (mode == ScanMode::kIndexed) {
+    index = StructuralIndex::Build(text);
+    idx = &index;
+  }
+  JsonCursor cursor = idx != nullptr ? JsonCursor(text, idx)
+                                     : JsonCursor(text);
   Projector projector(&cursor, steps, sink, stats);
   JPAR_RETURN_NOT_OK(projector.Project(0, 0));
   if (!cursor.AtEnd()) {
@@ -178,10 +203,20 @@ Status ProjectJsonStream(std::string_view text,
                          const std::vector<PathStep>& steps,
                          const std::function<Status(Item)>& sink,
                          ProjectionStats* stats,
-                         uint64_t* skipped_records) {
+                         uint64_t* skipped_records, ScanMode mode) {
+  // Stage 1 runs once per buffer; every cursor below (including the
+  // per-record cursors of the degraded scan) consumes the same bitmaps.
+  StructuralIndex index;
+  const StructuralIndex* idx = nullptr;
+  if (mode == ScanMode::kIndexed) {
+    index = StructuralIndex::Build(text);
+    idx = &index;
+  }
+
   if (skipped_records == nullptr) {
     // Strict mode: one cursor straight through the stream.
-    JsonCursor cursor(text);
+    JsonCursor cursor = idx != nullptr ? JsonCursor(text, idx)
+                                       : JsonCursor(text);
     Projector projector(&cursor, steps, sink, stats);
     while (!cursor.AtEnd()) {
       JPAR_RETURN_NOT_OK(projector.Project(0, 0));
@@ -191,21 +226,43 @@ Status ProjectJsonStream(std::string_view text,
   }
 
   // Lenient mode: each record gets a fresh cursor so a parse failure
-  // leaves a well-defined resync position (the next newline after the
-  // error).
+  // leaves a well-defined resync position: the first raw newline at or
+  // after the *start* of the failed record. Resyncing from the record
+  // start (not the error position) is what keeps the two scan modes in
+  // lockstep — on a malformed record the scalar and indexed parsers can
+  // legitimately detect the error at different offsets (the indexed
+  // path hops an unterminated string to the next unescaped quote and
+  // fails there; the scalar path may die earlier on a bad escape), and
+  // a resync anchored to the error position would diverge. With an
+  // index there is one extra wrinkle: a malformed record with
+  // unbalanced quotes poisons the in-string mask for the rest of the
+  // buffer, while the scalar path restarts at the newline with fresh
+  // state. When that happens (detected via InString at the resync
+  // point) the index is rebuilt over the remaining suffix, so both
+  // modes recover identically.
+  size_t index_base = 0;  // buffer offset the current index starts at
   size_t offset = 0;
   while (offset < text.size()) {
     std::string_view rest = text.substr(offset);
-    JsonCursor cursor(rest);
+    JsonCursor cursor = idx != nullptr
+                            ? JsonCursor(rest, idx, offset - index_base)
+                            : JsonCursor(rest);
     if (cursor.AtEnd()) break;
+    cursor.SkipWhitespace();
+    size_t record_start = cursor.position();
     Projector projector(&cursor, steps, sink, stats);
     Status st = projector.Project(0, 0);
     if (!st.ok()) {
       if (st.code() != StatusCode::kParseError) return st;
       ++*skipped_records;
-      size_t newline = rest.find('\n', cursor.position());
+      size_t newline = FindNewline(rest, record_start);
       if (newline == std::string_view::npos) break;  // tail is unusable
       offset += newline + 1;
+      if (idx != nullptr && offset - index_base < idx->size() &&
+          idx->InString(offset - index_base)) {
+        index = StructuralIndex::Build(text.substr(offset));
+        index_base = offset;
+      }
       continue;
     }
     offset += cursor.position();

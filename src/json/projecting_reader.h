@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "json/item.h"
+#include "json/structural_index.h"
 
 namespace jpar {
 
@@ -70,9 +71,16 @@ struct ProjectionStats {
 /// path selects nothing (missing key, index out of range), the sink is
 /// simply never called. Returns the first non-OK status from parsing or
 /// from the sink.
+///
+/// `mode` selects the scanning pipeline (DESIGN.md §9): kIndexed (the
+/// default) first builds a StructuralIndex over `text` so off-path
+/// subtrees are skipped structural-to-structural; kScalar is the
+/// byte-at-a-time baseline kept for differential testing and as a
+/// reference implementation.
 Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
                    const std::function<Status(Item)>& sink,
-                   ProjectionStats* stats = nullptr);
+                   ProjectionStats* stats = nullptr,
+                   ScanMode mode = ScanMode::kIndexed);
 
 /// ProjectJson over a stream of concatenated / newline-delimited JSON
 /// documents: the path is applied to each document in turn. This is
@@ -86,12 +94,17 @@ Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
 /// and continues with the following record. Any other error code
 /// (cancellation, memory, IO, sink failures) still aborts the stream.
 /// Note the resynchronization is line-based, so recovery is only
-/// well-defined for newline-delimited input.
+/// well-defined for newline-delimited input. Resync looks at raw
+/// newline bytes (memchr) in BOTH scan modes — not the index's
+/// outside-string newline bitmap — so a malformed record that corrupts
+/// the in-string mask cannot change where the degraded scan recovers,
+/// and the two modes skip identical records.
 Status ProjectJsonStream(std::string_view text,
                          const std::vector<PathStep>& steps,
                          const std::function<Status(Item)>& sink,
                          ProjectionStats* stats = nullptr,
-                         uint64_t* skipped_records = nullptr);
+                         uint64_t* skipped_records = nullptr,
+                         ScanMode mode = ScanMode::kIndexed);
 
 /// In-memory analogue of ProjectJson: walks `steps[from..]` over an
 /// already materialized item, emitting each match. Used by scans over

@@ -1,9 +1,12 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <climits>
+#include <cstring>
 #include <functional>
+#include <iterator>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -168,6 +171,14 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
     pcount = static_cast<int>(input.parts.size());
   }
 
+  // Threaded DATASCANs are morsel-driven: files are split into
+  // newline-aligned chunks pulled by a worker pool, so parallelism no
+  // longer stops at file granularity.
+  if (leaf && node.scan.kind == ScanDesc::Kind::kDataScan &&
+      options_.use_threads) {
+    return ExecDataScanMorsels(node, *coll, file_filter, pcount, stats);
+  }
+
   MemoryTracker memory(options_.memory_limit_bytes);
   StageStats stage;
   stage.name = leaf ? node.scan.ToString() : "pipeline";
@@ -257,7 +268,8 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
                               sink);
             },
             nullptr,
-            lenient_scan ? &task_skipped[static_cast<size_t>(p)] : nullptr);
+            lenient_scan ? &task_skipped[static_cast<size_t>(p)] : nullptr,
+            options_.scan_mode);
         if (!st.ok()) break;
       }
     } else if (st.ok() && leaf) {
@@ -298,6 +310,241 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
     stage.pipeline_bytes += task_boundary_bytes[static_cast<size_t>(p)];
     if (task_max_tuple[static_cast<size_t>(p)] > stage.max_tuple_bytes) {
       stage.max_tuple_bytes = task_max_tuple[static_cast<size_t>(p)];
+    }
+  }
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  stats->Merge(stage);
+  return output;
+}
+
+Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
+    const PNode& node, const Collection& coll,
+    const std::vector<int>* file_filter, int pcount,
+    ExecStats* stats) const {
+  const bool lenient =
+      options_.on_parse_error == ParseErrorPolicy::kSkipAndCount;
+
+  // One unit of scan work: a byte range of a loaded file (binary files
+  // are always a single morsel). Partition assignment follows the
+  // file's round-robin slot so output ordering matches the sequential
+  // scan exactly.
+  struct Morsel {
+    int partition = 0;
+    const JsonFile* binary = nullptr;          // binary-item files
+    std::shared_ptr<const std::string> text;   // null for binary files
+    size_t begin = 0;
+    size_t end = 0;
+    bool split_file = false;  // file produced more than one morsel
+  };
+  // Private per-morsel result slot; nothing is shared between workers
+  // until the post-join merge.
+  struct Slot {
+    Status status;
+    std::vector<Tuple> out;
+    uint64_t bytes = 0;
+    uint64_t items = 0;
+    uint64_t boundary_bytes = 0;
+    uint64_t max_tuple = 0;
+    uint64_t skipped = 0;
+    bool ran = false;
+  };
+
+  size_t file_count =
+      file_filter != nullptr ? file_filter->size() : coll.files.size();
+  std::vector<Morsel> tasks;
+  std::vector<size_t> file_first_task(file_count, 0);
+  std::vector<size_t> file_task_count(file_count, 0);
+  for (size_t i = 0; i < file_count; ++i) {
+    JPAR_RETURN_NOT_OK(Interrupted("pipeline scan"));
+    JPAR_RETURN_NOT_OK(Fault(FaultInjector::kScanIOError));
+    const JsonFile& file =
+        file_filter != nullptr
+            ? coll.files[static_cast<size_t>((*file_filter)[i])]
+            : coll.files[i];
+    file_first_task[i] = tasks.size();
+    Morsel m;
+    m.partition = static_cast<int>(i % static_cast<size_t>(pcount));
+    if (file.is_binary()) {
+      m.binary = &file;
+      tasks.push_back(m);
+    } else {
+      JPAR_ASSIGN_OR_RETURN(m.text, file.Load());
+      const char* base = m.text->data();
+      size_t n = m.text->size();
+      size_t begin = 0;
+      do {
+        Morsel part = m;
+        part.begin = begin;
+        size_t end = n;
+        if (options_.morsel_bytes > 0 &&
+            begin + options_.morsel_bytes < n) {
+          // Newline-aligned split: end after the first '\n' at or past
+          // the size target (same raw-byte newlines the degraded scan
+          // resyncs on).
+          size_t target = begin + options_.morsel_bytes - 1;
+          const void* nl = std::memchr(base + target, '\n', n - target);
+          end = nl == nullptr
+                    ? n
+                    : static_cast<size_t>(static_cast<const char*>(nl) -
+                                          base) +
+                          1;
+        }
+        part.end = end;
+        tasks.push_back(part);
+        begin = end;
+      } while (begin < n);
+    }
+    file_task_count[i] = tasks.size() - file_first_task[i];
+    if (file_task_count[i] > 1) {
+      for (size_t t = file_first_task[i]; t < tasks.size(); ++t) {
+        tasks[t].split_file = true;
+      }
+    }
+  }
+
+  MemoryTracker memory(options_.memory_limit_bytes);
+  StageStats stage;
+  stage.name = node.scan.ToString();
+  int workers = pcount;
+  if (!tasks.empty() && workers > static_cast<int>(tasks.size())) {
+    workers = static_cast<int>(tasks.size());
+  }
+  if (workers < 1) workers = 1;
+  stage.partition_ms.assign(static_cast<size_t>(workers), 0.0);
+
+  std::vector<Slot> slots(tasks.size());
+  std::vector<Status> worker_status(static_cast<size_t>(workers));
+  std::atomic<size_t> next_task{0};
+  std::atomic<bool> abort{false};
+
+  auto run_morsel = [&](const Morsel& m, Slot* slot) {
+    slot->ran = true;
+    Status st = Interrupted("pipeline scan");
+    if (st.ok()) {
+      EvalContext ctx;
+      ctx.catalog = catalog_;
+      ctx.memory = &memory;
+      TupleSink sink = [slot](Tuple t) -> Status {
+        slot->out.push_back(std::move(t));
+        return Status::OK();
+      };
+      auto emit = [&](Item item) -> Status {
+        if (++slot->items % kCheckIntervalTuples == 0) {
+          JPAR_RETURN_NOT_OK(Interrupted("pipeline"));
+        }
+        return RunChain(node.ops, 0, Tuple{std::move(item)}, &ctx, sink);
+      };
+      if (m.binary != nullptr) {
+        slot->bytes += m.binary->binary()->size();
+        auto doc = DeserializeItem(*m.binary->binary());
+        st = doc.ok() ? NavigateItemPath(*doc, node.scan.steps, 0, emit)
+                      : doc.status();
+      } else {
+        std::string_view view(*m.text);
+        view = view.substr(m.begin, m.end - m.begin);
+        slot->bytes += view.size();
+        st = ProjectJsonStream(view, node.scan.steps, emit, nullptr,
+                               lenient ? &slot->skipped : nullptr,
+                               options_.scan_mode);
+      }
+      slot->bytes += ctx.bytes_parsed;
+      slot->boundary_bytes = ctx.boundary_bytes;
+      slot->max_tuple = ctx.max_tuple_bytes;
+    }
+    slot->status = st;
+  };
+
+  auto worker = [&](int w) {
+    auto start = Clock::now();
+    Status st = Fault(FaultInjector::kWorkerStall);
+    if (!st.ok()) {
+      worker_status[static_cast<size_t>(w)] = st;
+      abort.store(true, std::memory_order_relaxed);
+    } else {
+      while (!abort.load(std::memory_order_relaxed)) {
+        size_t t = next_task.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tasks.size()) break;
+        Slot& slot = slots[t];
+        run_morsel(tasks[t], &slot);
+        if (!slot.status.ok() &&
+            !(slot.status.code() == StatusCode::kParseError &&
+              tasks[t].split_file && !lenient)) {
+          // Unrecoverable (cancel, deadline, fault, real parse error of
+          // an unsplit file): stop handing out work. Split-file parse
+          // errors are handled by the whole-file fallback below.
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    stage.partition_ms[static_cast<size_t>(w)] = ElapsedMs(start);
+  };
+
+  if (workers > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker, w);
+    for (std::thread& t : threads) t.join();
+  } else {
+    worker(0);
+  }
+
+  // Strict-mode whole-file fallback. A record spanning a morsel
+  // boundary (a document with newlines inside tokens or strings) always
+  // makes some morsel fail to parse — no JSON value can end cleanly at
+  // a mid-record newline — so rescanning the file as one task restores
+  // exact sequential semantics. Genuinely malformed files fail with the
+  // same error either way, at the cost of one wasted scan.
+  if (!lenient) {
+    for (size_t i = 0; i < file_count; ++i) {
+      if (file_task_count[i] <= 1) continue;
+      size_t first = file_first_task[i];
+      size_t end = first + file_task_count[i];
+      bool parse_failed = false;
+      for (size_t t = first; t < end; ++t) {
+        if (slots[t].ran &&
+            slots[t].status.code() == StatusCode::kParseError) {
+          parse_failed = true;
+          break;
+        }
+      }
+      if (!parse_failed) continue;
+      for (size_t t = first; t < end; ++t) slots[t] = Slot{};
+      Morsel whole = tasks[first];
+      whole.begin = 0;
+      whole.end = whole.text->size();
+      whole.split_file = false;
+      run_morsel(whole, &slots[first]);
+    }
+  }
+
+  for (int w = 0; w < workers; ++w) {
+    JPAR_RETURN_NOT_OK(worker_status[static_cast<size_t>(w)]);
+  }
+  for (const Slot& slot : slots) {
+    JPAR_RETURN_NOT_OK(slot.status);
+  }
+
+  PartitionSet output;
+  output.parts.assign(static_cast<size_t>(pcount), {});
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    Slot& slot = slots[t];
+    std::vector<Tuple>& out =
+        output.parts[static_cast<size_t>(tasks[t].partition)];
+    if (out.empty()) {
+      out = std::move(slot.out);
+    } else {
+      out.insert(out.end(), std::make_move_iterator(slot.out.begin()),
+                 std::make_move_iterator(slot.out.end()));
+    }
+    stats->bytes_scanned += slot.bytes;
+    stats->items_scanned += slot.items;
+    stats->skipped_records += slot.skipped;
+    if (slot.ran) ++stats->morsels_scanned;
+    stage.pipeline_bytes += slot.boundary_bytes;
+    if (slot.max_tuple > stage.max_tuple_bytes) {
+      stage.max_tuple_bytes = slot.max_tuple;
     }
   }
   if (memory.peak_bytes() > stats->peak_retained_bytes) {
@@ -773,6 +1020,12 @@ Status ValidateExecOptions(const ExecOptions& options) {
     return Status::InvalidArgument(
         "unknown on_parse_error policy: " +
         std::to_string(static_cast<int>(options.on_parse_error)));
+  }
+  if (options.scan_mode != ScanMode::kScalar &&
+      options.scan_mode != ScanMode::kIndexed) {
+    return Status::InvalidArgument(
+        "unknown scan_mode: " +
+        std::to_string(static_cast<int>(options.scan_mode)));
   }
   return Status::OK();
 }

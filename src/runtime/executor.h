@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "json/structural_index.h"
 #include "runtime/catalog.h"
 #include "runtime/memory.h"
 #include "runtime/operators.h"
@@ -119,6 +120,16 @@ struct ExecOptions {
   double deadline_ms = 0;
   /// Malformed-record policy for DATASCAN (see ParseErrorPolicy).
   ParseErrorPolicy on_parse_error = ParseErrorPolicy::kFail;
+  /// Scanning pipeline for DATASCAN (DESIGN.md §9): kIndexed builds a
+  /// stage-1 StructuralIndex per buffer and parses against its bitmaps;
+  /// kScalar keeps the original byte-at-a-time recursive descent.
+  ScanMode scan_mode = ScanMode::kIndexed;
+  /// Approximate morsel size for threaded DATASCANs. With use_threads,
+  /// each collection file is split into newline-aligned morsels of
+  /// about this many bytes and worker threads pull them from a shared
+  /// queue, so one huge NDJSON file no longer serializes a scan stage.
+  /// 0 disables splitting (one morsel per file).
+  size_t morsel_bytes = 1 << 20;
   /// Cooperative cancellation/deadline/fault checks at batch
   /// granularity. On by default; turning them off exists only so
   /// bench_service_throughput can measure their cost.
@@ -128,8 +139,8 @@ struct ExecOptions {
 /// Checks an ExecOptions for values that would make execution
 /// meaningless or divide by zero (`partitions >= 1`,
 /// `partitions_per_node >= 1`, `cores_per_node >= 1`, `frame_bytes > 0`)
-/// and for nonsensical robustness knobs (`deadline_ms >= 0`, a known
-/// `on_parse_error` value). Called by Executor::Run and by the query
+/// and for nonsensical robustness knobs (`deadline_ms >= 0`, known
+/// `on_parse_error` and `scan_mode` values). Called by Executor::Run and by the query
 /// service at admission, so bad options fail fast with InvalidArgument
 /// instead of relying on inline guards deep in the executor.
 Status ValidateExecOptions(const ExecOptions& options);
@@ -174,6 +185,15 @@ class Executor {
 
   Result<PartitionSet> Exec(const PNode& node, ExecStats* stats) const;
   Result<PartitionSet> ExecPipeline(const PNode& node, ExecStats* stats) const;
+  /// Morsel-driven DATASCAN used when options_.use_threads: files are
+  /// split into newline-aligned morsels (~options_.morsel_bytes each)
+  /// that worker threads pull from a shared queue; per-morsel outputs
+  /// and stats land in private slots and are merged in task order after
+  /// the join, so results are byte-identical to the sequential scan.
+  Result<PartitionSet> ExecDataScanMorsels(
+      const PNode& node, const Collection& coll,
+      const std::vector<int>* file_filter, int pcount,
+      ExecStats* stats) const;
   Result<PartitionSet> ExecGroupBy(const PNode& node, ExecStats* stats) const;
   Result<PartitionSet> ExecJoin(const PNode& node, ExecStats* stats) const;
   Result<PartitionSet> ExecSort(const PNode& node, ExecStats* stats) const;

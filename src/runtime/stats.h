@@ -70,6 +70,10 @@ struct ExecStats {
   /// Malformed records skipped by degraded scans
   /// (ExecOptions::on_parse_error == kSkipAndCount); 0 in strict mode.
   uint64_t skipped_records = 0;
+  /// Scan tasks executed by morsel-driven DATASCANs (threaded runs
+  /// split files into newline-aligned ~morsel_bytes chunks); 0 when
+  /// scans ran sequentially.
+  uint64_t morsels_scanned = 0;
 
   void Merge(const StageStats& stage) { stages.push_back(stage); }
 };

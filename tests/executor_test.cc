@@ -335,6 +335,246 @@ TEST(ValidateExecOptionsTest, RejectsUnknownParseErrorPolicy) {
   EXPECT_TRUE(ValidateExecOptions(o).ok());
 }
 
+// ---- Morsel-driven scans (DESIGN.md §9) -----------------------------
+
+/// NDJSON collection: `files` files of `records` one-line documents
+/// {"v": id, "pad": "..."} each. With dirty=true every 7th record is an
+/// unterminated string, exercising degraded scans and index poisoning.
+Catalog MakeNdjsonCatalog(int files, int records, bool dirty) {
+  Catalog catalog;
+  Collection c;
+  int id = 0;
+  for (int f = 0; f < files; ++f) {
+    std::string text;
+    for (int r = 0; r < records; ++r, ++id) {
+      if (dirty && r % 7 == 3) {
+        text += "{\"v\":\"unterminated\n";
+      } else {
+        text += "{\"v\":" + std::to_string(id) +
+                ",\"pad\":\"xxxxxxxxxxxxxxxx\"}\n";
+      }
+    }
+    c.files.push_back(JsonFile::FromText(std::move(text)));
+  }
+  catalog.RegisterCollection("nd", std::move(c));
+  return catalog;
+}
+
+std::shared_ptr<PNode> ScanNd() {
+  auto scan = std::make_shared<PNode>();
+  scan->kind = PNode::Kind::kPipeline;
+  scan->scan.kind = ScanDesc::Kind::kDataScan;
+  scan->scan.collection = "nd";
+  scan->scan.steps = {PathStep::Key("v")};
+  return scan;
+}
+
+TEST(ExecutorTest, MorselScanMatchesSequentialOnNdjson) {
+  Catalog catalog = MakeNdjsonCatalog(3, 40, false);
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+  for (int partitions : {1, 2, 4}) {
+    ExecOptions seq;
+    seq.partitions = partitions;
+    Executor sequential(&catalog, seq);
+    auto want = sequential.Run(plan);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_EQ(want->items.size(), 120u);
+    EXPECT_EQ(want->stats.morsels_scanned, 0u);
+
+    ExecOptions opt = seq;
+    opt.use_threads = true;
+    opt.morsel_bytes = 64;  // force many morsels per file
+    Executor morsel(&catalog, opt);
+    auto got = morsel.Run(plan);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Same items in the same order, and the same scan statistics.
+    EXPECT_EQ(got->items, want->items) << partitions;
+    EXPECT_EQ(got->stats.bytes_scanned, want->stats.bytes_scanned);
+    EXPECT_EQ(got->stats.items_scanned, want->stats.items_scanned);
+    // Each file is bigger than one morsel, so files really split.
+    EXPECT_GT(got->stats.morsels_scanned, 3u);
+  }
+}
+
+TEST(ExecutorTest, MorselDegradedScanCountsMatchSequential) {
+  Catalog catalog = MakeNdjsonCatalog(3, 40, true);
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+  for (int partitions : {1, 3}) {
+    ExecOptions seq;
+    seq.partitions = partitions;
+    seq.on_parse_error = ParseErrorPolicy::kSkipAndCount;
+    Executor sequential(&catalog, seq);
+    auto want = sequential.Run(plan);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_GT(want->stats.skipped_records, 0u);
+
+    ExecOptions opt = seq;
+    opt.use_threads = true;
+    opt.morsel_bytes = 96;
+    Executor morsel(&catalog, opt);
+    auto got = morsel.Run(plan);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->items, want->items) << partitions;
+    EXPECT_EQ(got->stats.skipped_records, want->stats.skipped_records);
+  }
+}
+
+TEST(ExecutorTest, MorselStrictFallbackOnMultiLineDocuments) {
+  // Pretty-printed documents have newlines inside records, so every
+  // newline-aligned split lands mid-document. The threaded scan must
+  // detect the morsel parse failures and fall back to whole-file scans
+  // with results identical to the sequential path.
+  Catalog catalog;
+  Collection c;
+  std::string text;
+  for (int i = 0; i < 30; ++i) {
+    text += "{\n  \"v\": " + std::to_string(i) + ",\n  \"w\": [1,\n 2]\n}\n";
+  }
+  c.files.push_back(JsonFile::FromText(std::move(text)));
+  catalog.RegisterCollection("nd", std::move(c));
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+
+  ExecOptions seq;
+  Executor sequential(&catalog, seq);
+  auto want = sequential.Run(plan);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_EQ(want->items.size(), 30u);
+
+  ExecOptions opt;
+  opt.partitions = 2;
+  opt.use_threads = true;
+  opt.morsel_bytes = 32;
+  Executor morsel(&catalog, opt);
+  auto got = morsel.Run(plan);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->items, want->items);
+}
+
+TEST(ExecutorTest, MorselScanHandlesBinaryFiles) {
+  Catalog catalog;
+  Collection binary;
+  for (int i = 0; i < 3; ++i) {
+    Item doc = *ParseJson("{\"v\": " + std::to_string(i) + "}");
+    binary.files.push_back(JsonFile::FromBinaryItem(SerializeItem(doc)));
+  }
+  catalog.RegisterCollection("nd", std::move(binary));
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+  ExecOptions opt;
+  opt.partitions = 2;
+  opt.use_threads = true;
+  Executor executor(&catalog, opt);
+  auto out = executor.Run(plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->items.size(), 3u);
+  EXPECT_EQ(out->stats.morsels_scanned, 3u);
+}
+
+TEST(ExecutorTest, ScanModesAgreeThroughExecutor) {
+  Catalog catalog = MakeNdjsonCatalog(2, 30, false);
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+  for (bool threads : {false, true}) {
+    ExecOptions indexed;
+    indexed.partitions = 2;
+    indexed.use_threads = threads;
+    indexed.morsel_bytes = 128;
+    ExecOptions scalar = indexed;
+    scalar.scan_mode = ScanMode::kScalar;
+    auto want = Executor(&catalog, scalar).Run(plan);
+    auto got = Executor(&catalog, indexed).Run(plan);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->items, want->items) << threads;
+    EXPECT_EQ(got->stats.bytes_scanned, want->stats.bytes_scanned);
+  }
+}
+
+TEST(ExecutorTest, MorselScanRespectsCancellation) {
+  Catalog catalog = MakeNdjsonCatalog(2, 50, false);
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  QueryContext ctx;
+  ctx.set_cancellation(token);
+  ExecOptions opt;
+  opt.partitions = 2;
+  opt.use_threads = true;
+  opt.morsel_bytes = 64;
+  Executor executor(&catalog, opt, &ctx);
+  auto out = executor.Run(plan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutorTest, MorselScanSurfacesIOFault) {
+  Catalog catalog = MakeNdjsonCatalog(3, 20, false);
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+  FaultInjector faults;
+  faults.ArmAfter(FaultInjector::kScanIOError, 2,
+                  Status::IOError("injected disk error"));
+  QueryContext ctx;
+  ctx.set_fault_injector(&faults);
+  ExecOptions opt;
+  opt.partitions = 2;
+  opt.use_threads = true;
+  opt.morsel_bytes = 64;
+  Executor executor(&catalog, opt, &ctx);
+  auto out = executor.Run(plan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kIOError);
+}
+
+// Run under TSan in CI: many workers hammering the per-morsel slots,
+// the shared task queue, and the atomic memory tracker, with totals
+// checked so a lost update shows up even without the sanitizer.
+TEST(ExecutorTest, MorselStatsMergeUnderThreads) {
+  Catalog catalog = MakeNdjsonCatalog(4, 100, false);
+  PhysicalPlan plan;
+  plan.root = ScanNd();
+  plan.result_column = 0;
+  ExecOptions seq;
+  seq.partitions = 4;
+  auto want = Executor(&catalog, seq).Run(plan);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  for (int round = 0; round < 3; ++round) {
+    ExecOptions opt = seq;
+    opt.use_threads = true;
+    opt.morsel_bytes = 128;
+    auto got = Executor(&catalog, opt).Run(plan);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->items.size(), 400u);
+    EXPECT_EQ(got->items, want->items);
+    EXPECT_EQ(got->stats.bytes_scanned, want->stats.bytes_scanned);
+    EXPECT_EQ(got->stats.items_scanned, want->stats.items_scanned);
+  }
+}
+
+TEST(ValidateExecOptionsTest, RejectsUnknownScanMode) {
+  ExecOptions o;
+  o.scan_mode = static_cast<ScanMode>(9);
+  Status st = ValidateExecOptions(o);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("scan_mode"), std::string::npos)
+      << st.ToString();
+  o.scan_mode = ScanMode::kScalar;
+  EXPECT_TRUE(ValidateExecOptions(o).ok());
+  o.scan_mode = ScanMode::kIndexed;
+  EXPECT_TRUE(ValidateExecOptions(o).ok());
+}
+
 TEST(ValidateExecOptionsTest, ExecutorRunRejectsBadRobustnessKnobs) {
   // The validation is wired into Run, not just the service: a bare
   // executor with a negative deadline fails before touching the plan.

@@ -1,0 +1,309 @@
+// Differential property tests for the two scanning pipelines
+// (DESIGN.md §9): the scalar byte-at-a-time path and the indexed
+// stage-1/stage-2 path must emit identical items, identical error
+// codes, and identical degraded-scan skip counts on the same input —
+// valid or dirty. Documents are randomized (escapes, UTF-8, deep
+// nesting) with fixed seeds so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "json/projecting_reader.h"
+
+namespace jpar {
+namespace {
+
+class DocGen {
+ public:
+  explicit DocGen(uint32_t seed) : rng_(seed) {}
+
+  /// One NDJSON record: a top-level object with a fixed key set and
+  /// randomized values, so projection paths always have targets.
+  std::string Record() {
+    std::string out = "{\"a\":" + Value(0) + ",\"b\":" + Value(0) +
+                      ",\"s\":" + String() + "}";
+    return out;
+  }
+
+  std::string Value(int depth) {
+    if (depth >= 6) return Atom();
+    switch (rng_() % 8) {
+      case 0:
+        return Object(depth + 1);
+      case 1:
+      case 2:
+        return Array(depth + 1);
+      case 3:
+        return String();
+      default:
+        return Atom();
+    }
+  }
+
+  std::mt19937& rng() { return rng_; }
+
+ private:
+  std::string Atom() {
+    switch (rng_() % 7) {
+      case 0:
+        return "true";
+      case 1:
+        return "false";
+      case 2:
+        return "null";
+      case 3:
+        return std::to_string(static_cast<int64_t>(rng_()) - (1u << 31));
+      case 4:
+        return std::to_string(rng_() % 1000) + "." +
+               std::to_string(rng_() % 1000);
+      case 5:
+        return std::to_string(rng_() % 100) + "e-" +
+               std::to_string(rng_() % 20);
+      default:
+        return "-" + std::to_string(rng_() % 100000);
+    }
+  }
+
+  std::string String() {
+    // Fragments stress every string feature: escapes (incl. escaped
+    // quotes and backslash runs), \uXXXX, multi-byte UTF-8, structural
+    // characters and newlines inside strings.
+    static const char* kFragments[] = {
+        "plain",        "\\\"",       "\\\\",  "\\\\\\\"", "\\n\\t",
+        "\\u00e9",      "\\u4f60",    "héllo", "wörld",    "日本語",
+        "{not,struct}", "[a:b]",      "\\/",   "\\u0041",  "x",
+        "",             "tab\\there",
+    };
+    std::string s = "\"";
+    int parts = static_cast<int>(rng_() % 6);
+    for (int i = 0; i < parts; ++i) {
+      s += kFragments[rng_() % (sizeof(kFragments) / sizeof(*kFragments))];
+    }
+    s += "\"";
+    return s;
+  }
+
+  std::string Object(int depth) {
+    std::string s = "{";
+    int n = static_cast<int>(rng_() % 4);
+    for (int i = 0; i < n; ++i) {
+      if (i) s += ",";
+      s += "\"k" + std::to_string(i) + "\":" + Value(depth);
+    }
+    s += "}";
+    return s;
+  }
+
+  std::string Array(int depth) {
+    std::string s = "[";
+    int n = static_cast<int>(rng_() % 5);
+    for (int i = 0; i < n; ++i) {
+      if (i) s += ",";
+      s += Value(depth);
+    }
+    s += "]";
+    return s;
+  }
+
+  std::mt19937 rng_;
+};
+
+struct ScanResult {
+  std::vector<std::string> items;
+  uint64_t skipped = 0;
+  bool ok = true;
+  StatusCode code = StatusCode::kOk;
+};
+
+ScanResult RunScan(std::string_view text, const std::vector<PathStep>& steps,
+                   bool lenient, ScanMode mode) {
+  ScanResult r;
+  auto sink = [&r](Item item) -> Status {
+    r.items.push_back(item.ToJsonString());
+    return Status::OK();
+  };
+  Status st = ProjectJsonStream(text, steps, sink, nullptr,
+                                lenient ? &r.skipped : nullptr, mode);
+  r.ok = st.ok();
+  r.code = st.code();
+  return r;
+}
+
+void ExpectModesAgree(std::string_view text,
+                      const std::vector<PathStep>& steps, bool lenient,
+                      const char* what) {
+  ScanResult scalar = RunScan(text, steps, lenient, ScanMode::kScalar);
+  ScanResult indexed = RunScan(text, steps, lenient, ScanMode::kIndexed);
+  ASSERT_EQ(scalar.ok, indexed.ok) << what;
+  ASSERT_EQ(static_cast<int>(scalar.code), static_cast<int>(indexed.code))
+      << what;
+  ASSERT_EQ(scalar.skipped, indexed.skipped) << what;
+  ASSERT_EQ(scalar.items, indexed.items) << what;
+}
+
+std::vector<std::vector<PathStep>> ProjectionPaths() {
+  return {
+      {},  // materialize whole documents
+      {PathStep::Key("a")},
+      {PathStep::Key("b"), PathStep::KeysOrMembers()},
+      {PathStep::KeysOrMembers()},
+      {PathStep::Key("missing")},
+  };
+}
+
+TEST(ScanDifferentialTest, ValidRandomNdjson) {
+  for (uint32_t seed = 1; seed <= 12; ++seed) {
+    DocGen gen(seed);
+    std::string buf;
+    for (int i = 0; i < 40; ++i) buf += gen.Record() + "\n";
+    for (const std::vector<PathStep>& steps : ProjectionPaths()) {
+      for (bool lenient : {false, true}) {
+        ExpectModesAgree(buf, steps, lenient, "valid ndjson");
+        // Both modes must actually succeed on valid input.
+        ScanResult r = RunScan(buf, steps, lenient, ScanMode::kIndexed);
+        EXPECT_TRUE(r.ok);
+        EXPECT_EQ(r.skipped, 0u);
+      }
+    }
+  }
+}
+
+// Structural corruptions only: truncation, bracket imbalance, removed
+// quotes, garbage atoms. (Escape validity inside *skipped* strings is
+// the indexed path's one documented relaxation, so corruptions that
+// merely invalidate an escape sequence are out of scope.)
+std::string CorruptLine(std::string line, std::mt19937* rng) {
+  switch ((*rng)() % 5) {
+    case 0: {  // truncate (never right after a backslash)
+      size_t cut = 1 + (*rng)() % (line.size() - 1);
+      while (cut > 1 && line[cut - 1] == '\\') --cut;
+      return line.substr(0, cut);
+    }
+    case 1: {  // drop the final closing brace
+      return line.substr(0, line.size() - 1);
+    }
+    case 2: {  // drop the last quote: unterminated string
+      size_t q = line.rfind('"');
+      if (q == std::string::npos) return "garbage";
+      return line.substr(0, q) + line.substr(q + 1);
+    }
+    case 3:
+      return "nul";  // invalid literal
+    default:
+      return "{\"a\":12x34}";  // invalid number
+  }
+}
+
+TEST(ScanDifferentialTest, DirtyNdjsonLenientSkipsAgree) {
+  for (uint32_t seed = 100; seed < 110; ++seed) {
+    DocGen gen(seed);
+    std::string buf;
+    int corrupted = 0;
+    for (int i = 0; i < 40; ++i) {
+      std::string line = gen.Record();
+      if (gen.rng()() % 4 == 0) {
+        line = CorruptLine(std::move(line), &gen.rng());
+        ++corrupted;
+      }
+      buf += line + "\n";
+    }
+    ASSERT_GT(corrupted, 0);
+    for (const std::vector<PathStep>& steps : ProjectionPaths()) {
+      ExpectModesAgree(buf, steps, true, "dirty ndjson");
+    }
+    // Sanity: the degraded scan did skip records.
+    ScanResult r =
+        RunScan(buf, ProjectionPaths()[0], true, ScanMode::kIndexed);
+    EXPECT_GT(r.skipped, 0u);
+  }
+}
+
+TEST(ScanDifferentialTest, DirtyNdjsonStrictErrorsAgree) {
+  for (uint32_t seed = 200; seed < 208; ++seed) {
+    DocGen gen(seed);
+    std::string buf;
+    for (int i = 0; i < 10; ++i) buf += gen.Record() + "\n";
+    std::string bad = CorruptLine(gen.Record(), &gen.rng());
+    buf += bad + "\n";
+    for (int i = 0; i < 5; ++i) buf += gen.Record() + "\n";
+    for (const std::vector<PathStep>& steps : ProjectionPaths()) {
+      ExpectModesAgree(buf, steps, false, "strict dirty");
+    }
+    ScanResult r = RunScan(buf, {}, false, ScanMode::kIndexed);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(static_cast<int>(r.code),
+              static_cast<int>(StatusCode::kParseError));
+  }
+}
+
+TEST(ScanDifferentialTest, DeepNestingBothDirections) {
+  // Within the depth limit: both parse. Past it: both fail with
+  // kParseError at the same point.
+  for (int depth : {50, 511, 600}) {
+    std::string doc = "{\"a\":";
+    for (int i = 0; i < depth; ++i) doc += "[";
+    doc += "1";
+    for (int i = 0; i < depth; ++i) doc += "]";
+    doc += "}\n";
+    for (const std::vector<PathStep>& steps : ProjectionPaths()) {
+      ExpectModesAgree(doc, steps, false, "deep nesting");
+      ExpectModesAgree(doc, steps, true, "deep nesting lenient");
+    }
+  }
+}
+
+TEST(ScanDifferentialTest, PoisonedIndexRecoversLikeScalar) {
+  // An unterminated string flips the in-string mask for the rest of the
+  // buffer; the indexed degraded scan must rebuild and still skip
+  // exactly the records the scalar scan skips.
+  std::string buf =
+      "{\"a\":1}\n"
+      "{\"a\":\"unterminated\n"
+      "{\"a\":2}\n"
+      "{\"a\":\"another open\n"
+      "{\"a\":3,\"s\":\"ok\"}\n";
+  for (const std::vector<PathStep>& steps : ProjectionPaths()) {
+    ExpectModesAgree(buf, steps, true, "poisoned index");
+  }
+  ScanResult r = RunScan(buf, {PathStep::Key("a")}, true, ScanMode::kIndexed);
+  EXPECT_EQ(r.skipped, 2u);
+  // Streaming semantics: the projected "a" value is emitted before the
+  // rest of a malformed record fails, so the two unterminated strings
+  // (which swallow through the following line's opening brace) appear
+  // between the recovered records.
+  ASSERT_EQ(r.items.size(), 5u);
+  EXPECT_EQ(r.items[0], "1");
+  EXPECT_EQ(r.items[1], "\"unterminated\\n{\"");
+  EXPECT_EQ(r.items[2], "2");
+  EXPECT_EQ(r.items[3], "\"another open\\n{\"");
+  EXPECT_EQ(r.items[4], "3");
+}
+
+TEST(ScanDifferentialTest, SingleDocumentProjectJsonAgrees) {
+  for (uint32_t seed = 300; seed < 306; ++seed) {
+    DocGen gen(seed);
+    std::string doc = gen.Record();
+    for (const std::vector<PathStep>& steps : ProjectionPaths()) {
+      std::vector<std::string> got[2];
+      Status st[2];
+      ScanMode modes[2] = {ScanMode::kScalar, ScanMode::kIndexed};
+      for (int m = 0; m < 2; ++m) {
+        st[m] = ProjectJson(
+            doc, steps,
+            [&](Item item) -> Status {
+              got[m].push_back(item.ToJsonString());
+              return Status::OK();
+            },
+            nullptr, modes[m]);
+      }
+      ASSERT_EQ(st[0].ok(), st[1].ok()) << doc;
+      ASSERT_EQ(got[0], got[1]) << doc;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,229 @@
+// Stage-1 scanner tests: bitmap correctness against a naive reference
+// classifier, cross-kernel equality (SWAR vs SSE2 vs AVX2), and the
+// Next* iteration helpers. DESIGN.md §9.
+
+#include "json/structural_index.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+namespace jpar {
+namespace {
+
+/// Byte-at-a-time reference classifier. Follows the index's prefix-XOR
+/// convention: the opening quote and string body are in-string, the
+/// closing quote is not.
+struct Reference {
+  std::vector<bool> quote;
+  std::vector<bool> op;
+  std::vector<bool> newline;
+  std::vector<bool> in_string;
+};
+
+Reference Classify(std::string_view text) {
+  Reference r;
+  r.quote.assign(text.size(), false);
+  r.op.assign(text.size(), false);
+  r.newline.assign(text.size(), false);
+  r.in_string.assign(text.size(), false);
+  bool in_str = false;
+  bool escaped = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    // Escapes only shield quotes (exactly what stage 1 resolves); a
+    // backslash before any other byte changes nothing about its class.
+    bool was_escaped = escaped;
+    escaped = c == '\\' && !was_escaped;
+    if (c == '"' && !was_escaped) {
+      r.quote[i] = true;
+      if (!in_str) r.in_string[i] = true;
+      in_str = !in_str;
+      continue;
+    }
+    if (in_str) {
+      r.in_string[i] = true;
+      continue;
+    }
+    if (c == '{' || c == '}' || c == '[' || c == ']' || c == ',' ||
+        c == ':') {
+      r.op[i] = true;
+    }
+    if (c == '\n') r.newline[i] = true;
+  }
+  return r;
+}
+
+void ExpectMatchesReference(std::string_view text) {
+  Reference ref = Classify(text);
+  for (SimdLevel level : SupportedSimdLevels()) {
+    StructuralIndex idx = StructuralIndex::Build(text, level);
+    ASSERT_EQ(idx.size(), text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+      ASSERT_EQ(idx.IsQuote(i), ref.quote[i])
+          << SimdLevelName(level) << " quote @" << i << " in " << text;
+      ASSERT_EQ(idx.IsOp(i), ref.op[i])
+          << SimdLevelName(level) << " op @" << i << " in " << text;
+      ASSERT_EQ(idx.IsNewline(i), ref.newline[i])
+          << SimdLevelName(level) << " newline @" << i << " in " << text;
+      ASSERT_EQ(idx.InString(i), ref.in_string[i])
+          << SimdLevelName(level) << " in_string @" << i << " in " << text;
+    }
+  }
+}
+
+TEST(StructuralIndexTest, EmptyAndTrivialInputs) {
+  StructuralIndex idx = StructuralIndex::Build("");
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.NextOp(0), StructuralIndex::npos);
+  EXPECT_EQ(idx.NextQuote(0), StructuralIndex::npos);
+  EXPECT_EQ(idx.NextNewline(0), StructuralIndex::npos);
+  ExpectMatchesReference("1");
+  ExpectMatchesReference("null");
+  ExpectMatchesReference("\n");
+}
+
+TEST(StructuralIndexTest, ClassifiesBasicDocument) {
+  std::string doc = R"({"a":1,"b":[true,null,2.5],"c":{"d":"x"}})";
+  ExpectMatchesReference(doc);
+  StructuralIndex idx = StructuralIndex::Build(doc);
+  EXPECT_TRUE(idx.IsOp(0));      // '{'
+  EXPECT_TRUE(idx.IsQuote(1));   // opening '"' of "a"
+  EXPECT_TRUE(idx.InString(1));  // opening quote is in-string
+  EXPECT_FALSE(idx.InString(3));  // closing quote is not
+  EXPECT_TRUE(idx.IsOp(4));       // ':'
+}
+
+TEST(StructuralIndexTest, StructuralCharsInsideStringsAreMasked) {
+  std::string doc = R"({"k":"br{ck}ets [and] c,l:ns","n":1})";
+  ExpectMatchesReference(doc);
+  StructuralIndex idx = StructuralIndex::Build(doc);
+  // The braces/brackets/colons inside the string must not be ops.
+  for (size_t i = 7; i < 27; ++i) EXPECT_FALSE(idx.IsOp(i)) << i;
+}
+
+TEST(StructuralIndexTest, EscapedQuotesStayInString) {
+  // "he\"llo" — the escaped quote must not close the string.
+  ExpectMatchesReference("{\"k\":\"he\\\"llo\"}");
+  // "\\" — even-length backslash run: the next quote does close.
+  ExpectMatchesReference("{\"k\":\"\\\\\"}");
+  // Odd and even runs of every length up to a block and beyond.
+  for (int run = 1; run <= 70; ++run) {
+    std::string doc = "{\"k\":\"" + std::string(run, '\\') + "\"";
+    if (run % 2 != 0) doc += "\"";  // escaped quote needs a real closer
+    doc += "}";
+    ExpectMatchesReference(doc);
+  }
+}
+
+TEST(StructuralIndexTest, BackslashRunsAcrossBlockBoundaries) {
+  // Slide a backslash run + quote across the 64-byte block boundary so
+  // the odd-length carry between blocks is exercised at every offset.
+  for (int pad = 50; pad < 80; ++pad) {
+    for (int run = 1; run <= 4; ++run) {
+      std::string doc = std::string(static_cast<size_t>(pad), ' ') + "\"a" +
+                        std::string(static_cast<size_t>(run), '\\') +
+                        "\" , [\n]";
+      ExpectMatchesReference(doc);
+    }
+  }
+  ExpectMatchesReference(std::string(200, '\\'));
+}
+
+TEST(StructuralIndexTest, StringsSpanningBlockBoundaries) {
+  for (size_t len : {60u, 63u, 64u, 65u, 127u, 128u, 129u, 300u}) {
+    std::string doc = "[\"" + std::string(len, 'x') + "\",1]";
+    ExpectMatchesReference(doc);
+  }
+  // Unterminated string: everything after the quote is in-string.
+  std::string open = "{\"k\":\"" + std::string(100, 'y');
+  ExpectMatchesReference(open);
+  StructuralIndex idx = StructuralIndex::Build(open);
+  EXPECT_TRUE(idx.InString(open.size() - 1));
+}
+
+TEST(StructuralIndexTest, NewlinesInsideStringsAreNotRecordBreaks) {
+  std::string doc = "{\"k\":\"a\nb\"}\n{\"k\":2}\n";
+  ExpectMatchesReference(doc);
+  StructuralIndex idx = StructuralIndex::Build(doc);
+  EXPECT_FALSE(idx.IsNewline(7));   // inside the string
+  EXPECT_TRUE(idx.IsNewline(11));   // record separator
+  EXPECT_EQ(idx.NextNewline(0), 11u);
+  EXPECT_EQ(idx.NextNewline(12), 19u);
+}
+
+TEST(StructuralIndexTest, NextWalksMatchReference) {
+  std::string doc;
+  for (int i = 0; i < 200; ++i) {
+    doc += "{\"s\":\"a\\\"b\",\"v\":[" + std::to_string(i) + ",2]}\n";
+  }
+  Reference ref = Classify(doc);
+  for (SimdLevel level : SupportedSimdLevels()) {
+    StructuralIndex idx = StructuralIndex::Build(doc, level);
+    // Walk ops via NextOp and compare against the reference bitmap.
+    std::vector<size_t> got;
+    for (size_t p = idx.NextOp(0); p != StructuralIndex::npos;
+         p = idx.NextOp(p + 1)) {
+      got.push_back(p);
+    }
+    std::vector<size_t> want;
+    for (size_t i = 0; i < doc.size(); ++i) {
+      if (ref.op[i]) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << SimdLevelName(level);
+    // NextOpOrQuote merges both classes in order.
+    size_t p = 0;
+    for (size_t i = 0; i < doc.size(); ++i) {
+      if (!ref.op[i] && !ref.quote[i]) continue;
+      EXPECT_EQ(idx.NextOpOrQuote(p), i) << SimdLevelName(level);
+      p = i + 1;
+    }
+    EXPECT_EQ(idx.NextOpOrQuote(p), StructuralIndex::npos);
+  }
+}
+
+TEST(StructuralIndexTest, KernelsAgreeOnRandomBuffers) {
+  std::mt19937 rng(20260806);
+  // Biased byte soup: heavy in structural chars, quotes, backslashes
+  // and newlines so the interesting masks churn constantly.
+  const std::string alphabet = "{}[],:\"\\\n ax1";
+  for (int round = 0; round < 50; ++round) {
+    size_t len = rng() % 700;
+    std::string buf;
+    buf.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      buf += alphabet[rng() % alphabet.size()];
+    }
+    ExpectMatchesReference(buf);
+  }
+}
+
+TEST(StructuralIndexTest, ForcedSwarMatchesActiveLevel) {
+  std::string doc;
+  for (int i = 0; i < 100; ++i) {
+    doc += "{\"t\":\"x\\\\y\",\"n\":" + std::to_string(i) + "}\n";
+  }
+  StructuralIndex active = StructuralIndex::Build(doc);
+  StructuralIndex swar = StructuralIndex::Build(doc, SimdLevel::kSwar);
+  for (size_t i = 0; i < doc.size(); ++i) {
+    ASSERT_EQ(active.IsOp(i), swar.IsOp(i)) << i;
+    ASSERT_EQ(active.IsQuote(i), swar.IsQuote(i)) << i;
+    ASSERT_EQ(active.IsNewline(i), swar.IsNewline(i)) << i;
+    ASSERT_EQ(active.InString(i), swar.InString(i)) << i;
+  }
+}
+
+TEST(StructuralIndexTest, SupportedLevelsAlwaysIncludeSwar) {
+  std::vector<SimdLevel> levels = SupportedSimdLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), SimdLevel::kSwar);
+  // ActiveSimdLevel must be one of the supported levels.
+  bool found = false;
+  for (SimdLevel l : levels) found = found || l == ActiveSimdLevel();
+  EXPECT_TRUE(found);
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSwar), "swar");
+}
+
+}  // namespace
+}  // namespace jpar
