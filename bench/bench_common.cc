@@ -98,6 +98,9 @@ Measurement RunQuery(const Engine& engine, const char* query) {
     if (result->stats.peak_retained_bytes > m.peak_bytes) {
       m.peak_bytes = result->stats.peak_retained_bytes;
     }
+    m.spill_runs = result->stats.spill_runs;
+    m.spill_bytes = result->stats.spill_bytes_written;
+    m.spill_merge_passes = result->stats.spill_merge_passes;
     m.pipeline_bytes = 0;
     for (const jpar::StageStats& s : result->stats.stages) {
       if (s.max_tuple_bytes > m.max_tuple_bytes) {

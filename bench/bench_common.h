@@ -52,6 +52,11 @@ struct Measurement {
   uint64_t peak_bytes = 0;
   uint64_t max_tuple_bytes = 0;
   uint64_t pipeline_bytes = 0;  // frame bytes between operators
+  // Memory-governed spilling (one run's worth; all 0 unless the engine
+  // ran with ExecOptions::spill == kEnabled and actually spilled).
+  uint64_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t spill_merge_passes = 0;
 };
 
 /// Runs `query` Repeats() times and averages.

@@ -5,6 +5,12 @@
 # into the repo root so the perf trajectory is machine-readable.
 set -u
 start=${1:-0}
+# Quick gate before burning bench time: the fast tier-1 suite must be
+# green (the stress/randomized labels are CI's job, not this script's).
+if [ -d build ] && [ "${start}" -eq 0 ]; then
+  ctest --test-dir build -L tier1 -j "$(nproc 2>/dev/null || echo 2)" \
+    --output-on-failure || exit 1
+fi
 i=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

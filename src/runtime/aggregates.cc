@@ -33,6 +33,14 @@ class SequenceAggregator : public Aggregator {
   }
   size_t RetainedBytes() const override { return retained_; }
 
+  // MakeSequence's singleton collapse is harmless here: MergePartial
+  // appends members exactly like Step, and members are never themselves
+  // sequences (ForEachMember flattened them on the way in).
+  Result<Item> SavePartial() const override {
+    return Item::MakeSequence(items_);
+  }
+  Status MergePartial(const Item& partial) override { return Step(partial); }
+
  private:
   Item::ItemVector items_;
   size_t retained_ = 0;
@@ -56,6 +64,16 @@ class CountAggregator : public Aggregator {
   }
   Result<Item> Finish() override { return Item::Int64(count_); }
   size_t RetainedBytes() const override { return sizeof(*this); }
+
+  Result<Item> SavePartial() const override { return Item::Int64(count_); }
+  Status MergePartial(const Item& partial) override {
+    // Always sums, regardless of step: the snapshot is already a count.
+    if (!partial.is_int64()) {
+      return Status::Internal("count spill partial must be int64");
+    }
+    count_ += partial.int64_value();
+    return Status::OK();
+  }
 
  private:
   AggStep step_;
@@ -91,6 +109,15 @@ class MinMaxAggregator : public Aggregator {
   size_t RetainedBytes() const override {
     return sizeof(*this) + best_.EstimateSizeBytes();
   }
+
+  Result<Item> SavePartial() const override {
+    // No value yet -> the empty sequence, which MergePartial (via
+    // Step's ForEachMember) treats as contributing nothing. `best_` is
+    // never itself a sequence, so the cases cannot be confused.
+    if (!has_value_) return Item::EmptySequence();
+    return best_;
+  }
+  Status MergePartial(const Item& partial) override { return Step(partial); }
 
  private:
   bool is_min_;
@@ -136,6 +163,27 @@ class SumAvgAggregator : public Aggregator {
   }
 
   size_t RetainedBytes() const override { return sizeof(*this); }
+
+  Result<Item> SavePartial() const override {
+    // The full state, not Finish()'s lossy projection: the exact sum
+    // bits, the count, and the all-ints flag that decides whether sum
+    // finishes as Int64.
+    return Item::MakeArray({Item::Double(sum_),
+                            Item::Int64(static_cast<int64_t>(count_)),
+                            Item::Boolean(all_int_)});
+  }
+  Status MergePartial(const Item& partial) override {
+    if (!partial.is_array() || partial.array().size() != 3 ||
+        !partial.array()[0].is_double() || !partial.array()[1].is_int64() ||
+        !partial.array()[2].is_boolean()) {
+      return Status::Internal(
+          "sum/avg spill partial must be [sum, count, all_int]");
+    }
+    sum_ += partial.array()[0].double_value();
+    count_ += static_cast<uint64_t>(partial.array()[1].int64_value());
+    all_int_ = all_int_ && partial.array()[2].boolean_value();
+    return Status::OK();
+  }
 
  private:
   Status StepGlobal(const Item& item) {

@@ -49,6 +49,16 @@ class Aggregator {
   virtual Result<Item> Finish() = 0;
   /// Bytes retained by the state (dominant for kSequence).
   virtual size_t RetainedBytes() const = 0;
+
+  /// Spill support (DESIGN.md §10). SavePartial snapshots the running
+  /// state as a serializable Item without finishing it; MergePartial
+  /// folds such a snapshot — produced by an aggregator of the same
+  /// (kind, step) — back in. The round-trip is lossless (sums keep
+  /// their exact double bits, counts and flags are exact), so a table
+  /// that was flushed to run files and re-merged finishes to exactly
+  /// the item the never-spilled table would have produced.
+  virtual Result<Item> SavePartial() const = 0;
+  virtual Status MergePartial(const Item& partial) = 0;
 };
 
 /// Creates an aggregator for (kind, step). kSequence supports only

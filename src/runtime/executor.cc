@@ -14,6 +14,7 @@
 #include "json/binary_serde.h"
 #include "json/parser.h"
 #include "runtime/frame.h"
+#include "runtime/spill.h"
 
 namespace jpar {
 
@@ -46,6 +47,288 @@ Status EncodeKey(const std::vector<ScalarEvalPtr>& key_evals,
 struct GroupState {
   Tuple key_items;
   std::vector<std::unique_ptr<Aggregator>> aggs;
+};
+
+/// Salted FNV-1a over the encoded group key. Bucket routing must NOT
+/// reuse the exchange's std::hash: flushes partition by SpillHash(key,
+/// 0) and each recursive repartition re-splits a skewed bucket with the
+/// next salt, so collisions at one level separate at the next.
+uint64_t SpillHash(std::string_view key, uint32_t salt) {
+  uint64_t h = 14695981039346656037ull ^
+               (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(salt) + 1));
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// How many salted repartition levels a pathologically skewed bucket
+/// may recurse before the merge simply overruns its budget softly.
+/// fanout^6 sub-buckets is far beyond any realistic collision pile-up.
+constexpr int kMaxSpillDepth = 6;
+
+/// Hash-aggregation table for one group-by partition task. With
+/// `spill` null it reproduces the pre-spilling fail-fast behavior
+/// exactly (same Fault/Allocate points, same charges). With a
+/// SpillManager it is memory-governed: when the partition's tracked
+/// bytes exceed `budget`, the table is hash-partitioned into `fanout`
+/// run files and cleared; Emit() then merges the runs bucket by bucket,
+/// recursively re-splitting any bucket whose merged groups overflow the
+/// budget again (hash-collision-heavy skew). See DESIGN.md §10.
+class SpillableGroupTable {
+ public:
+  SpillableGroupTable(const std::vector<AggSpec>& specs, AggStep step,
+                      MemoryTracker* memory, bool track_growth,
+                      QueryContext* ctx, SpillManager* spill, int fanout,
+                      uint64_t budget, uint64_t* merge_passes)
+      : specs_(specs),
+        step_(step),
+        memory_(memory),
+        track_growth_(track_growth),
+        ctx_(ctx),
+        spill_(spill),
+        fanout_(fanout < 2 ? 2 : fanout),
+        budget_(budget),
+        merge_passes_(merge_passes) {}
+
+  /// Folds one input tuple into the group keyed by `encoded`.
+  /// `value_of(i)` produces the Step input for aggregator i.
+  Status Add(const std::string& encoded, const Tuple& key_items,
+             const std::function<Result<Item>(size_t)>& value_of) {
+    auto [it, inserted] = table_.try_emplace(encoded);
+    if (inserted) {
+      it->second.key_items = key_items;
+      JPAR_RETURN_NOT_OK(FaultAt(FaultInjector::kAllocFail));
+      uint64_t charge = encoded.size() + 64;
+      JPAR_RETURN_NOT_OK(memory_->Allocate(charge));
+      allocated_ += charge;
+      for (const AggSpec& spec : specs_) {
+        JPAR_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                              MakeAggregator(spec.kind, step_));
+        it->second.aggs.push_back(std::move(agg));
+      }
+    }
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      JPAR_ASSIGN_OR_RETURN(Item v, value_of(i));
+      if (track_growth_) {
+        size_t before = it->second.aggs[i]->RetainedBytes();
+        JPAR_RETURN_NOT_OK(it->second.aggs[i]->Step(v));
+        size_t after = it->second.aggs[i]->RetainedBytes();
+        if (after > before) {
+          JPAR_RETURN_NOT_OK(memory_->Allocate(after - before));
+          allocated_ += after - before;
+        }
+      } else {
+        JPAR_RETURN_NOT_OK(it->second.aggs[i]->Step(v));
+      }
+    }
+    if (spill_ != nullptr && budget_ > 0 && allocated_ > budget_) {
+      JPAR_RETURN_NOT_OK(Flush());
+    }
+    return Status::OK();
+  }
+
+  /// Finishes every group into `*out` (key items ++ finished
+  /// aggregates). When nothing spilled this is the plain in-memory
+  /// emit; otherwise the live table is flushed too and the runs are
+  /// merged bucket by bucket.
+  Status Emit(std::vector<Tuple>* out) {
+    if (writers_.empty()) {
+      for (auto& [key, state] : table_) {
+        Tuple t = std::move(state.key_items);
+        for (std::unique_ptr<Aggregator>& agg : state.aggs) {
+          JPAR_ASSIGN_OR_RETURN(Item v, agg->Finish());
+          t.push_back(std::move(v));
+        }
+        out->push_back(std::move(t));
+      }
+      table_.clear();
+      return Status::OK();
+    }
+    JPAR_RETURN_NOT_OK(Flush());
+    std::vector<std::string> paths;
+    paths.reserve(writers_.size());
+    for (std::unique_ptr<SpillRunWriter>& w : writers_) {
+      JPAR_RETURN_NOT_OK(w->Finish());
+      paths.push_back(w->path());
+    }
+    writers_.clear();
+    for (const std::string& path : paths) {
+      JPAR_RETURN_NOT_OK(MergeBucket(path, 0, out));
+    }
+    return Status::OK();
+  }
+
+  bool spilled() const { return !writers_.empty() || spilled_once_; }
+
+ private:
+  Status Check(const char* stage) const {
+    return ctx_ != nullptr ? ctx_->Check(stage) : Status::OK();
+  }
+  Status FaultAt(std::string_view point) const {
+    return ctx_ != nullptr ? ctx_->Fault(point) : Status::OK();
+  }
+
+  /// Writes every live group to its hash bucket's run file (append;
+  /// one file per bucket across all flushes) and clears the table.
+  Status Flush() {
+    if (table_.empty()) return Status::OK();
+    if (writers_.empty()) {
+      writers_.resize(static_cast<size_t>(fanout_));
+      for (std::unique_ptr<SpillRunWriter>& w : writers_) {
+        JPAR_ASSIGN_OR_RETURN(w, spill_->NewRun());
+      }
+      spilled_once_ = true;
+    }
+    std::string record;
+    uint64_t n = 0;
+    for (auto& [key, state] : table_) {
+      if (++n % Executor::kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Check("group-by spill"));
+      }
+      record.clear();
+      JPAR_RETURN_NOT_OK(
+          EncodeGroupSpillRecord(key, state.key_items, state.aggs, &record));
+      size_t b = SpillHash(key, 0) % static_cast<size_t>(fanout_);
+      JPAR_RETURN_NOT_OK(writers_[b]->Append(record));
+    }
+    table_.clear();
+    memory_->Release(allocated_);
+    allocated_ = 0;
+    return Status::OK();
+  }
+
+  Status MergeBucket(const std::string& path, int depth,
+                     std::vector<Tuple>* out) {
+    if (merge_passes_ != nullptr) ++*merge_passes_;
+    JPAR_ASSIGN_OR_RETURN(std::unique_ptr<SpillRunReader> reader,
+                          spill_->OpenRun(path));
+    std::unordered_map<std::string, GroupState> table;
+    uint64_t allocated = 0;
+    std::string record;
+    uint64_t n = 0;
+    while (true) {
+      JPAR_ASSIGN_OR_RETURN(bool more, reader->Next(&record));
+      if (!more) break;
+      if (++n % Executor::kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Check("group-by spill merge"));
+      }
+      JPAR_ASSIGN_OR_RETURN(GroupSpillRecord rec,
+                            DecodeGroupSpillRecord(record));
+      if (rec.partials.size() != specs_.size()) {
+        return Status::Internal("group spill record arity mismatch");
+      }
+      auto [it, inserted] = table.try_emplace(rec.encoded_key);
+      if (inserted) {
+        it->second.key_items = std::move(rec.key_items);
+        JPAR_RETURN_NOT_OK(FaultAt(FaultInjector::kAllocFail));
+        uint64_t charge = rec.encoded_key.size() + 64;
+        JPAR_RETURN_NOT_OK(memory_->Allocate(charge));
+        allocated += charge;
+        for (const AggSpec& spec : specs_) {
+          JPAR_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                                MakeAggregator(spec.kind, step_));
+          it->second.aggs.push_back(std::move(agg));
+        }
+      }
+      for (size_t i = 0; i < rec.partials.size(); ++i) {
+        size_t before = it->second.aggs[i]->RetainedBytes();
+        JPAR_RETURN_NOT_OK(it->second.aggs[i]->MergePartial(rec.partials[i]));
+        size_t after = it->second.aggs[i]->RetainedBytes();
+        if (after > before) {
+          JPAR_RETURN_NOT_OK(memory_->Allocate(after - before));
+          allocated += after - before;
+        }
+      }
+      if (budget_ > 0 && allocated > budget_ && depth < kMaxSpillDepth) {
+        return Repartition(std::move(reader), path, &table, allocated, depth,
+                           out);
+      }
+      // Past kMaxSpillDepth the bucket overruns its budget softly —
+      // with a sane hash that takes adversarial key collisions.
+    }
+    for (auto& [key, state] : table) {
+      Tuple t = std::move(state.key_items);
+      for (std::unique_ptr<Aggregator>& agg : state.aggs) {
+        JPAR_ASSIGN_OR_RETURN(Item v, agg->Finish());
+        t.push_back(std::move(v));
+      }
+      out->push_back(std::move(t));
+    }
+    memory_->Release(allocated);
+    spill_->Remove(path);
+    return Status::OK();
+  }
+
+  /// A bucket's distinct groups alone blew the budget: re-split the
+  /// partially merged table plus the rest of the bucket's stream into
+  /// `fanout` sub-runs under the next salt and merge those instead.
+  Status Repartition(std::unique_ptr<SpillRunReader> reader,
+                     const std::string& path,
+                     std::unordered_map<std::string, GroupState>* table,
+                     uint64_t allocated, int depth, std::vector<Tuple>* out) {
+    uint32_t salt = static_cast<uint32_t>(depth) + 1;
+    std::vector<std::unique_ptr<SpillRunWriter>> subs(
+        static_cast<size_t>(fanout_));
+    for (std::unique_ptr<SpillRunWriter>& w : subs) {
+      JPAR_ASSIGN_OR_RETURN(w, spill_->NewRun());
+    }
+    std::string record;
+    uint64_t n = 0;
+    for (auto& [key, state] : *table) {
+      if (++n % Executor::kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Check("group-by spill repartition"));
+      }
+      record.clear();
+      JPAR_RETURN_NOT_OK(
+          EncodeGroupSpillRecord(key, state.key_items, state.aggs, &record));
+      size_t b = SpillHash(key, salt) % static_cast<size_t>(fanout_);
+      JPAR_RETURN_NOT_OK(subs[b]->Append(record));
+    }
+    table->clear();
+    memory_->Release(allocated);
+    // Route the unread remainder by key alone, without decoding
+    // partials.
+    while (true) {
+      JPAR_ASSIGN_OR_RETURN(bool more, reader->Next(&record));
+      if (!more) break;
+      if (++n % Executor::kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Check("group-by spill repartition"));
+      }
+      JPAR_ASSIGN_OR_RETURN(std::string key, PeekGroupSpillKey(record));
+      size_t b = SpillHash(key, salt) % static_cast<size_t>(fanout_);
+      JPAR_RETURN_NOT_OK(subs[b]->Append(record));
+    }
+    reader.reset();
+    spill_->Remove(path);
+    std::vector<std::string> paths;
+    paths.reserve(subs.size());
+    for (std::unique_ptr<SpillRunWriter>& w : subs) {
+      JPAR_RETURN_NOT_OK(w->Finish());
+      paths.push_back(w->path());
+    }
+    subs.clear();
+    for (const std::string& sub : paths) {
+      JPAR_RETURN_NOT_OK(MergeBucket(sub, depth + 1, out));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<AggSpec>& specs_;
+  AggStep step_;
+  MemoryTracker* memory_;
+  bool track_growth_;
+  QueryContext* ctx_;    // null = no lifecycle checks
+  SpillManager* spill_;  // null = fail-fast mode
+  int fanout_;
+  uint64_t budget_;
+  uint64_t* merge_passes_;
+
+  std::unordered_map<std::string, GroupState> table_;
+  std::vector<std::unique_ptr<SpillRunWriter>> writers_;
+  uint64_t allocated_ = 0;
+  bool spilled_once_ = false;
 };
 
 }  // namespace
@@ -179,7 +462,10 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
     return ExecDataScanMorsels(node, *coll, file_filter, pcount, stats);
   }
 
-  MemoryTracker memory(options_.memory_limit_bytes);
+  // With spilling enabled the limit is a soft budget: pipelines cannot
+  // spill, so they track usage without failing (DESIGN.md §10).
+  MemoryTracker memory(options_.memory_limit_bytes,
+                       options_.spill == SpillMode::kEnabled);
   StageStats stage;
   stage.name = leaf ? node.scan.ToString() : "pipeline";
   stage.partition_ms.assign(static_cast<size_t>(pcount), 0.0);
@@ -404,7 +690,8 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     }
   }
 
-  MemoryTracker memory(options_.memory_limit_bytes);
+  MemoryTracker memory(options_.memory_limit_bytes,
+                       options_.spill == SpillMode::kEnabled);
   StageStats stage;
   stage.name = node.scan.ToString();
   int workers = pcount;
@@ -651,7 +938,14 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
     const PNode& node, ExecStats* stats) const {
   JPAR_ASSIGN_OR_RETURN(PartitionSet input, Exec(*node.input, stats));
 
-  MemoryTracker memory(options_.memory_limit_bytes);
+  const bool spilling = options_.spill == SpillMode::kEnabled;
+  MemoryTracker memory(options_.memory_limit_bytes, spilling);
+  std::unique_ptr<SpillManager> spill_mgr;
+  if (spilling) {
+    JPAR_ASSIGN_OR_RETURN(spill_mgr,
+                          SpillManager::Create(options_.spill_dir, ctx_));
+  }
+  uint64_t merge_passes = 0;
   size_t nkeys = node.keys.size();
 
   bool can_two_step = node.two_step;
@@ -671,7 +965,14 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
       EvalContext ctx;
       ctx.catalog = catalog_;
       ctx.memory = &memory;
-      std::unordered_map<std::string, GroupState> table;
+      // Pre-spilling semantics kept exactly when disabled: the local
+      // stage never tracked aggregate growth (incremental partials are
+      // O(1)); with spilling on, growth counts against the budget too.
+      SpillableGroupTable table(node.aggs, AggStep::kLocal, &memory,
+                                /*track_growth=*/spilling, ctx_,
+                                spill_mgr.get(), options_.spill_fanout,
+                                memory.ShareOf(input.parts.size()),
+                                &merge_passes);
       std::string encoded;
       Tuple key_items;
       uint64_t processed = 0;
@@ -681,32 +982,13 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
         }
         JPAR_RETURN_NOT_OK(
             EncodeKey(node.keys, tuple, &ctx, &encoded, &key_items));
-        auto [it, inserted] = table.try_emplace(encoded);
-        if (inserted) {
-          it->second.key_items = key_items;
-          JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
-          JPAR_RETURN_NOT_OK(memory.Allocate(encoded.size() + 64));
-          for (const AggSpec& spec : node.aggs) {
-            JPAR_ASSIGN_OR_RETURN(
-                std::unique_ptr<Aggregator> agg,
-                MakeAggregator(spec.kind, AggStep::kLocal));
-            it->second.aggs.push_back(std::move(agg));
-          }
-        }
-        for (size_t i = 0; i < node.aggs.size(); ++i) {
-          JPAR_ASSIGN_OR_RETURN(Item v, node.aggs[i].arg->Eval(tuple, &ctx));
-          JPAR_RETURN_NOT_OK(it->second.aggs[i]->Step(v));
-        }
+        JPAR_RETURN_NOT_OK(
+            table.Add(encoded, key_items, [&](size_t i) -> Result<Item> {
+              return node.aggs[i].arg->Eval(tuple, &ctx);
+            }));
       }
       input.parts[p].clear();
-      for (auto& [key, state] : table) {
-        Tuple t = state.key_items;
-        for (std::unique_ptr<Aggregator>& agg : state.aggs) {
-          JPAR_ASSIGN_OR_RETURN(Item v, agg->Finish());
-          t.push_back(std::move(v));
-        }
-        partials.parts[p].push_back(std::move(t));
-      }
+      JPAR_RETURN_NOT_OK(table.Emit(&partials.parts[p]));
       memory.Release(memory.current_bytes());
       local_stage.partition_ms[p] = ElapsedMs(start);
     }
@@ -741,10 +1023,14 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
     EvalContext ctx;
     ctx.catalog = catalog_;
     ctx.memory = &memory;
-    std::unordered_map<std::string, GroupState> table;
+    AggStep step = can_two_step ? AggStep::kGlobal : AggStep::kComplete;
+    SpillableGroupTable table(node.aggs, step, &memory,
+                              /*track_growth=*/true, ctx_, spill_mgr.get(),
+                              options_.spill_fanout,
+                              memory.ShareOf(exchanged.parts.size()),
+                              &merge_passes);
     std::string encoded;
     Tuple key_items;
-    AggStep step = can_two_step ? AggStep::kGlobal : AggStep::kComplete;
     uint64_t processed = 0;
     for (const Tuple& tuple : exchanged.parts[p]) {
       if (++processed % kCheckIntervalTuples == 0) {
@@ -752,46 +1038,31 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
       }
       JPAR_RETURN_NOT_OK(
           EncodeKey(exchange_keys, tuple, &ctx, &encoded, &key_items));
-      auto [it, inserted] = table.try_emplace(encoded);
-      if (inserted) {
-        it->second.key_items = key_items;
-        JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
-        JPAR_RETURN_NOT_OK(memory.Allocate(encoded.size() + 64));
-        for (const AggSpec& spec : node.aggs) {
-          JPAR_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
-                                MakeAggregator(spec.kind, step));
-          it->second.aggs.push_back(std::move(agg));
-        }
-      }
-      for (size_t i = 0; i < node.aggs.size(); ++i) {
-        Item v;
-        if (can_two_step) {
-          // Partial for agg i sits right after the key columns.
-          v = tuple[nkeys + i];
-        } else {
-          JPAR_ASSIGN_OR_RETURN(v, node.aggs[i].arg->Eval(tuple, &ctx));
-        }
-        size_t before = it->second.aggs[i]->RetainedBytes();
-        JPAR_RETURN_NOT_OK(it->second.aggs[i]->Step(v));
-        size_t after = it->second.aggs[i]->RetainedBytes();
-        if (after > before) {
-          JPAR_RETURN_NOT_OK(memory.Allocate(after - before));
-        }
-      }
+      JPAR_RETURN_NOT_OK(
+          table.Add(encoded, key_items, [&](size_t i) -> Result<Item> {
+            if (can_two_step) {
+              // Partial for agg i sits right after the key columns.
+              return tuple[nkeys + i];
+            }
+            return node.aggs[i].arg->Eval(tuple, &ctx);
+          }));
     }
     exchanged.parts[p].clear();
-    for (auto& [key, state] : table) {
-      Tuple t = std::move(state.key_items);
-      for (std::unique_ptr<Aggregator>& agg : state.aggs) {
-        JPAR_ASSIGN_OR_RETURN(Item v, agg->Finish());
-        t.push_back(std::move(v));
-      }
-      output.parts[p].push_back(std::move(t));
-    }
+    JPAR_RETURN_NOT_OK(table.Emit(&output.parts[p]));
+    // The hard-limit mode deliberately never releases between global
+    // partitions (it emulates all partitions resident at once, which is
+    // what Table 3 measures); the budgeted mode governs each partition
+    // task, so its memory returns as soon as the task emits.
+    if (spilling) memory.Release(memory.current_bytes());
     global_stage.partition_ms[p] = ElapsedMs(start);
   }
   if (memory.peak_bytes() > stats->peak_retained_bytes) {
     stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  if (spill_mgr != nullptr) {
+    stats->spill_runs += spill_mgr->runs_created();
+    stats->spill_bytes_written += spill_mgr->bytes_written();
+    stats->spill_merge_passes += merge_passes;
   }
   stats->Merge(global_stage);
   return output;
@@ -811,7 +1082,11 @@ Result<Executor::PartitionSet> Executor::ExecJoin(const PNode& node,
                         Exchange(right, node.right_keys, &stage, stats));
   right.parts.clear();
 
-  MemoryTracker memory(options_.memory_limit_bytes);
+  // Hash joins cannot spill yet; with spilling enabled the build side
+  // overruns the budget softly instead of failing the query
+  // (DESIGN.md §10 lists spillable joins as future work).
+  MemoryTracker memory(options_.memory_limit_bytes,
+                       options_.spill == SpillMode::kEnabled);
   size_t nkeys = node.left_keys.size();
   // Keys were evaluated against pre-exchange column positions; the
   // exchanged tuples preserve layout, so re-evaluate the same evals.
@@ -881,6 +1156,24 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
   EvalContext ctx;
   ctx.catalog = catalog_;
 
+  // Memory governance (DESIGN.md §10): when spilling is enabled each
+  // partition tracks its keyed rows against its budget share and, on
+  // overflow, stable-sorts what it holds and writes it out as one
+  // sorted run. The global merge then reads runs and the in-memory
+  // remainders as ordered sources; because runs are emitted in input
+  // order and the merge takes the *first* strictly-smaller source, the
+  // output is byte-identical to the in-memory stable sort. When
+  // disabled, sort is untracked, exactly as before.
+  const bool spilling = options_.spill == SpillMode::kEnabled &&
+                        options_.memory_limit_bytes > 0;
+  MemoryTracker memory(options_.memory_limit_bytes, /*soft=*/true);
+  std::unique_ptr<SpillManager> spill_mgr;
+  if (options_.spill == SpillMode::kEnabled) {
+    JPAR_ASSIGN_OR_RETURN(spill_mgr,
+                          SpillManager::Create(options_.spill_dir, ctx_));
+  }
+  const uint64_t budget = memory.ShareOf(input.parts.size());
+
   // Local phase: evaluate keys and sort each partition.
   struct Keyed {
     Tuple keys;
@@ -892,13 +1185,58 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
     return static_cast<int>(item.kind());
   };
   std::vector<int> key_classes(node.sort_keys.size(), INT_MIN);
+  auto compare = [&](const Keyed& a, const Keyed& b) {
+    for (size_t i = 0; i < a.keys.size(); ++i) {
+      bool ea = a.keys[i].SequenceLength() == 0;
+      bool eb = b.keys[i].SequenceLength() == 0;
+      int c;
+      if (ea || eb) {
+        c = static_cast<int>(eb) - static_cast<int>(ea);  // empty first
+      } else {
+        c = a.keys[i].Compare(b.keys[i]).ValueOrDie();
+      }
+      if (i < node.sort_descending.size() && node.sort_descending[i]) {
+        c = -c;
+      }
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+
   std::vector<std::vector<Keyed>> sorted(input.parts.size());
+  // Sorted run files per partition, in the order they were written.
+  std::vector<std::vector<std::string>> run_paths(input.parts.size());
+  std::string record;
+  auto spill_rows = [&](std::vector<Keyed>* rows,
+                        std::vector<std::string>* paths,
+                        uint64_t* charged) -> Status {
+    std::stable_sort(rows->begin(), rows->end(), compare);
+    JPAR_ASSIGN_OR_RETURN(std::unique_ptr<SpillRunWriter> writer,
+                          spill_mgr->NewRun());
+    uint64_t n = 0;
+    for (const Keyed& k : *rows) {
+      if (++n % kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Interrupted("sort spill"));
+      }
+      record.clear();
+      EncodeTupleTo(k.keys, &record);
+      EncodeTupleTo(k.row, &record);
+      JPAR_RETURN_NOT_OK(writer->Append(record));
+    }
+    JPAR_RETURN_NOT_OK(writer->Finish());
+    paths->push_back(writer->path());
+    rows->clear();
+    memory.Release(*charged);
+    *charged = 0;
+    return Status::OK();
+  };
+
   for (size_t p = 0; p < input.parts.size(); ++p) {
     JPAR_RETURN_NOT_OK(Interrupted("sort"));
     auto start = Clock::now();
     std::vector<Keyed>& rows = sorted[p];
-    rows.reserve(input.parts[p].size());
     uint64_t keyed_rows = 0;
+    uint64_t charged = 0;
     for (Tuple& t : input.parts[p]) {
       if (++keyed_rows % kCheckIntervalTuples == 0) {
         JPAR_RETURN_NOT_OK(Interrupted("sort"));
@@ -921,35 +1259,75 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
         }
       }
       k.row = std::move(t);
+      if (spilling) {
+        uint64_t bytes = TupleSizeBytes(k.keys) + TupleSizeBytes(k.row);
+        JPAR_RETURN_NOT_OK(memory.Allocate(bytes));
+        charged += bytes;
+      }
       rows.push_back(std::move(k));
+      if (spilling && charged > budget) {
+        JPAR_RETURN_NOT_OK(spill_rows(&rows, &run_paths[p], &charged));
+      }
     }
     input.parts[p].clear();
-    auto compare = [&](const Keyed& a, const Keyed& b) {
-      for (size_t i = 0; i < a.keys.size(); ++i) {
-        bool ea = a.keys[i].SequenceLength() == 0;
-        bool eb = b.keys[i].SequenceLength() == 0;
-        int c;
-        if (ea || eb) {
-          c = static_cast<int>(eb) - static_cast<int>(ea);  // empty first
-        } else {
-          c = a.keys[i].Compare(b.keys[i]).ValueOrDie();
-        }
-        if (i < node.sort_descending.size() && node.sort_descending[i]) {
-          c = -c;
-        }
-        if (c != 0) return c < 0;
-      }
-      return false;
-    };
     std::stable_sort(rows.begin(), rows.end(), compare);
     stage.partition_ms[p] = ElapsedMs(start);
   }
 
   // Merge phase (the gather exchange): k-way merge into one partition.
+  // Sources are ordered (partition, its runs in write order, its
+  // in-memory remainder last); ties go to the earliest source, which
+  // reproduces the stable in-memory merge exactly.
   auto merge_start = Clock::now();
+  struct SortSource {
+    std::unique_ptr<SpillRunReader> reader;  // null for in-memory rows
+    std::string path;
+    std::vector<Keyed>* mem = nullptr;
+    size_t pos = 0;
+    Keyed head;
+    bool has_head = false;
+  };
+  auto advance = [&](SortSource* s) -> Status {
+    if (s->reader != nullptr) {
+      JPAR_ASSIGN_OR_RETURN(bool more, s->reader->Next(&record));
+      if (!more) {
+        s->has_head = false;
+        s->reader.reset();
+        spill_mgr->Remove(s->path);
+        return Status::OK();
+      }
+      ItemReader item_reader(record);
+      JPAR_RETURN_NOT_OK(DecodeTupleFrom(&item_reader, &s->head.keys));
+      JPAR_RETURN_NOT_OK(DecodeTupleFrom(&item_reader, &s->head.row));
+      s->has_head = true;
+      return Status::OK();
+    }
+    if (s->pos >= s->mem->size()) {
+      s->has_head = false;
+      return Status::OK();
+    }
+    s->head = std::move((*s->mem)[s->pos++]);
+    s->has_head = true;
+    return Status::OK();
+  };
+  std::vector<SortSource> sources;
+  for (size_t p = 0; p < sorted.size(); ++p) {
+    for (const std::string& path : run_paths[p]) {
+      SortSource s;
+      JPAR_ASSIGN_OR_RETURN(s.reader, spill_mgr->OpenRun(path));
+      s.path = path;
+      sources.push_back(std::move(s));
+    }
+    SortSource s;
+    s.mem = &sorted[p];
+    sources.push_back(std::move(s));
+  }
+  for (SortSource& s : sources) {
+    JPAR_RETURN_NOT_OK(advance(&s));
+  }
+
   PartitionSet output;
   output.parts.assign(1, {});
-  std::vector<size_t> cursor(sorted.size(), 0);
   auto less_keyed = [&](const Keyed& a, const Keyed& b) -> bool {
     for (size_t i = 0; i < a.keys.size(); ++i) {
       bool ea = a.keys[i].SequenceLength() == 0;
@@ -971,23 +1349,28 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
       JPAR_RETURN_NOT_OK(Interrupted("sort merge"));
     }
     int best = -1;
-    for (size_t p = 0; p < sorted.size(); ++p) {
-      if (cursor[p] >= sorted[p].size()) continue;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      if (!sources[s].has_head) continue;
       if (best < 0 ||
-          less_keyed(sorted[p][cursor[p]],
-                     sorted[static_cast<size_t>(best)]
-                           [cursor[static_cast<size_t>(best)]])) {
-        best = static_cast<int>(p);
+          less_keyed(sources[s].head,
+                     sources[static_cast<size_t>(best)].head)) {
+        best = static_cast<int>(s);
       }
     }
     if (best < 0) break;
-    output.parts[0].push_back(
-        std::move(sorted[static_cast<size_t>(best)]
-                        [cursor[static_cast<size_t>(best)]]
-                            .row));
-    ++cursor[static_cast<size_t>(best)];
+    SortSource& win = sources[static_cast<size_t>(best)];
+    output.parts[0].push_back(std::move(win.head.row));
+    JPAR_RETURN_NOT_OK(advance(&win));
   }
   stage.exchange_ms += ElapsedMs(merge_start);
+  if (memory.peak_bytes() > stats->peak_retained_bytes &&
+      options_.spill == SpillMode::kEnabled) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  if (spill_mgr != nullptr) {
+    stats->spill_runs += spill_mgr->runs_created();
+    stats->spill_bytes_written += spill_mgr->bytes_written();
+  }
   stats->Merge(stage);
   return output;
 }
@@ -1026,6 +1409,25 @@ Status ValidateExecOptions(const ExecOptions& options) {
     return Status::InvalidArgument(
         "unknown scan_mode: " +
         std::to_string(static_cast<int>(options.scan_mode)));
+  }
+  if (options.spill != SpillMode::kDisabled &&
+      options.spill != SpillMode::kEnabled) {
+    return Status::InvalidArgument(
+        "unknown spill mode: " +
+        std::to_string(static_cast<int>(options.spill)));
+  }
+  if (options.spill == SpillMode::kEnabled) {
+    if (options.spill_fanout < 2) {
+      return Status::InvalidArgument(
+          "spill_fanout must be >= 2 when spilling is enabled, got " +
+          std::to_string(options.spill_fanout));
+    }
+    if (!options.spill_dir.empty()) {
+      // Fail at validation (admission time through the service), not
+      // deep inside a half-finished aggregation.
+      Result<std::string> dir = ResolveSpillDir(options.spill_dir);
+      if (!dir.ok()) return dir.status();
+    }
   }
   return Status::OK();
 }

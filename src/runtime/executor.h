@@ -79,6 +79,23 @@ struct PhysicalPlan {
   std::string ToString() const;
 };
 
+/// What a blocking operator (group-by, sort) does when its tracked
+/// bytes exceed the memory budget (DESIGN.md §10).
+enum class SpillMode : uint8_t {
+  /// memory_limit_bytes is a hard limit: crossing it fails the query
+  /// with kResourceExhausted (the pre-spilling fail-fast semantics; the
+  /// default).
+  kDisabled = 0,
+  /// memory_limit_bytes is a soft per-operator budget: group-by and
+  /// sort partitions that exceed their share hash-partition (group-by)
+  /// or sort (sort) their in-memory state into temp run files via
+  /// SpillManager, keep going, and merge the runs at the end.
+  /// Results are byte-identical to in-memory execution. Operators that
+  /// cannot spill (join build sides, materialized sequences) overrun
+  /// the budget softly instead of failing.
+  kEnabled = 1,
+};
+
 /// What a DATASCAN does when a collection record fails to parse.
 enum class ParseErrorPolicy : uint8_t {
   /// The whole query fails with kParseError (strict; the default).
@@ -104,8 +121,19 @@ struct ExecOptions {
   int cores_per_node = 4;
   /// Target Hyracks frame size for exchanges.
   size_t frame_bytes = 32 * 1024;
-  /// 0 = unlimited. Exceeding it fails the query (ResourceExhausted).
+  /// 0 = unlimited. With spill == kDisabled exceeding it fails the
+  /// query (ResourceExhausted); with kEnabled it is the soft budget
+  /// spilling operators stay under (see SpillMode).
   uint64_t memory_limit_bytes = 0;
+  /// Memory-governance discipline for blocking operators.
+  SpillMode spill = SpillMode::kDisabled;
+  /// Hash-partition fan-out of a group-by spill flush (and of each
+  /// recursive repartition of a skewed bucket). Must be >= 2 when
+  /// spilling is enabled.
+  int spill_fanout = 8;
+  /// Directory for temp run files; empty = the system temp directory.
+  /// Must exist and be writable when spilling is enabled.
+  std::string spill_dir;
   /// Run partition tasks on real threads. Off by default: the
   /// reproduction host is single-core, and sequential execution gives
   /// deterministic per-partition timings for the makespan model.
@@ -140,9 +168,11 @@ struct ExecOptions {
 /// meaningless or divide by zero (`partitions >= 1`,
 /// `partitions_per_node >= 1`, `cores_per_node >= 1`, `frame_bytes > 0`)
 /// and for nonsensical robustness knobs (`deadline_ms >= 0`, known
-/// `on_parse_error` and `scan_mode` values). Called by Executor::Run and by the query
-/// service at admission, so bad options fail fast with InvalidArgument
-/// instead of relying on inline guards deep in the executor.
+/// `on_parse_error`, `scan_mode` and `spill` values; with spilling
+/// enabled, `spill_fanout >= 2` and a usable `spill_dir`). Called by
+/// Executor::Run and by the query service at admission, so bad options
+/// fail fast with InvalidArgument instead of relying on inline guards
+/// deep in the executor.
 Status ValidateExecOptions(const ExecOptions& options);
 
 /// Result rows plus the execution statistics the benchmarks plot.

@@ -12,10 +12,19 @@ namespace jpar {
 /// tables, join build sides, materialized sequences, exchange buffers).
 /// Used for the paper's Table 3 memory comparison and to emulate the
 /// Spark-SQL OOM cliff in the MemTable baseline. Thread-safe.
+///
+/// Two limit disciplines (DESIGN.md §10):
+///   hard (default) — Allocate fails with kResourceExhausted the moment
+///     the limit is crossed; the pre-spilling fail-fast semantics.
+///   soft — the limit is a *budget*: Allocate always succeeds (usage and
+///     peak still tracked) and spill-capable operators poll over_limit()
+///     / ShareOf() to decide when to flush state to disk. Operators that
+///     cannot spill overrun the budget instead of failing the query.
 class MemoryTracker {
  public:
   /// limit_bytes == 0 means unlimited.
-  explicit MemoryTracker(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+  explicit MemoryTracker(uint64_t limit_bytes = 0, bool soft = false)
+      : limit_(limit_bytes), soft_(soft) {}
 
   Status Allocate(uint64_t bytes) {
     uint64_t now = current_.fetch_add(bytes) + bytes;
@@ -23,7 +32,7 @@ class MemoryTracker {
     uint64_t peak = peak_.load();
     while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
     }
-    if (limit_ != 0 && now > limit_) {
+    if (!soft_ && limit_ != 0 && now > limit_) {
       return Status::ResourceExhausted(
           "memory limit exceeded: " + std::to_string(now) + " > " +
           std::to_string(limit_) + " bytes");
@@ -36,11 +45,27 @@ class MemoryTracker {
   uint64_t current_bytes() const { return current_.load(); }
   uint64_t peak_bytes() const { return peak_.load(); }
   uint64_t limit_bytes() const { return limit_; }
+  bool soft() const { return soft_; }
+  bool over_limit() const {
+    return limit_ != 0 && current_.load() > limit_;
+  }
+
+  /// Equal per-operator-instance slice of the budget (e.g. one slice
+  /// per partition task of a group-by stage). 0 = unlimited. Never
+  /// returns 0 for a nonzero limit so a tiny budget split many ways
+  /// still triggers spilling instead of disabling it.
+  uint64_t ShareOf(size_t instances) const {
+    if (limit_ == 0) return 0;
+    if (instances < 1) instances = 1;
+    uint64_t share = limit_ / instances;
+    return share > 0 ? share : 1;
+  }
 
  private:
   std::atomic<uint64_t> current_{0};
   std::atomic<uint64_t> peak_{0};
   uint64_t limit_;
+  bool soft_;
 };
 
 }  // namespace jpar

@@ -2,9 +2,56 @@
 
 #include <utility>
 
+#include "json/binary_serde.h"
 #include "runtime/frame.h"
+#include "runtime/spill.h"
 
 namespace jpar {
+
+Status EncodeGroupSpillRecord(
+    const std::string& encoded_key, const Tuple& key_items,
+    const std::vector<std::unique_ptr<Aggregator>>& aggs, std::string* out) {
+  ItemWriter writer(out);
+  writer.Write(Item::String(encoded_key));
+  EncodeTupleTo(key_items, out);
+  writer.Write(Item::Int64(static_cast<int64_t>(aggs.size())));
+  for (const std::unique_ptr<Aggregator>& agg : aggs) {
+    JPAR_ASSIGN_OR_RETURN(Item partial, agg->SavePartial());
+    writer.Write(partial);
+  }
+  return Status::OK();
+}
+
+Result<GroupSpillRecord> DecodeGroupSpillRecord(std::string_view record) {
+  ItemReader reader(record);
+  GroupSpillRecord out;
+  JPAR_ASSIGN_OR_RETURN(Item key, reader.Read());
+  if (!key.is_string()) {
+    return Status::Internal("corrupt group spill record: bad key");
+  }
+  out.encoded_key = key.string_value();
+  JPAR_RETURN_NOT_OK(DecodeTupleFrom(&reader, &out.key_items));
+  JPAR_ASSIGN_OR_RETURN(Item count, reader.Read());
+  if (!count.is_int64() || count.int64_value() < 0) {
+    return Status::Internal("corrupt group spill record: bad agg count");
+  }
+  size_t n = static_cast<size_t>(count.int64_value());
+  out.partials.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    JPAR_ASSIGN_OR_RETURN(Item partial, reader.Read());
+    out.partials.push_back(std::move(partial));
+  }
+  return out;
+}
+
+Result<std::string> PeekGroupSpillKey(std::string_view record) {
+  ItemReader reader(record);
+  JPAR_ASSIGN_OR_RETURN(Item key, reader.Read());
+  if (!key.is_string()) {
+    return Status::Internal("corrupt group spill record: bad key");
+  }
+  return std::string(key.string_value());
+}
 
 std::string AggSpec::ToString() const {
   std::string out(AggKindToString(kind));

@@ -29,6 +29,30 @@ struct AggSpec {
 
 struct SubplanDesc;
 
+/// One decoded group-by spill record (DESIGN.md §10): the group's
+/// encoded hash key, its key items, and one saved partial state per
+/// AggSpec of the operator, in spec order.
+struct GroupSpillRecord {
+  std::string encoded_key;
+  Tuple key_items;
+  std::vector<Item> partials;
+};
+
+/// Serializes one group of a spilling GROUP-BY into `*out` (appended)
+/// using the binary_serde item encoding: the encoded key as a string
+/// item, the key items as a counted tuple, then a counted list of
+/// Aggregator::SavePartial snapshots — one per spec.
+Status EncodeGroupSpillRecord(
+    const std::string& encoded_key, const Tuple& key_items,
+    const std::vector<std::unique_ptr<Aggregator>>& aggs, std::string* out);
+
+/// The inverse of EncodeGroupSpillRecord over one complete record.
+Result<GroupSpillRecord> DecodeGroupSpillRecord(std::string_view record);
+
+/// Reads just the encoded key of a group spill record — what a
+/// recursive repartition needs to route records it never decodes.
+Result<std::string> PeekGroupSpillKey(std::string_view record);
+
 /// A streaming (non-blocking) physical operator. Pipelines are vectors
 /// of these descriptors; they are immutable and shared across partition
 /// tasks.

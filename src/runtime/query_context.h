@@ -42,6 +42,8 @@ class FaultInjector {
       "exchange.frame_drop";
   static constexpr std::string_view kWorkerStall = "worker.stall";
   static constexpr std::string_view kAllocFail = "alloc.fail";
+  /// Spill run file create/append/read failures (DESIGN.md §10).
+  static constexpr std::string_view kSpillIOError = "spill.io_error";
 
   explicit FaultInjector(uint64_t seed = 0) : rng_(seed) {}
 

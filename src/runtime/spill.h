@@ -1,0 +1,133 @@
+#ifndef JPAR_RUNTIME_SPILL_H_
+#define JPAR_RUNTIME_SPILL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/binary_serde.h"
+#include "runtime/query_context.h"
+#include "runtime/tuple.h"
+
+namespace jpar {
+
+/// Resolves the directory spill runs are written to: `dir_hint` when
+/// non-empty, else the system temp directory. Fails with
+/// kInvalidArgument when the resolved path is not a writable directory.
+Result<std::string> ResolveSpillDir(const std::string& dir_hint);
+
+/// Appends `t` to `out` as an Int64 column count followed by each
+/// column, all in the binary_serde item encoding. The inverse is
+/// DecodeTupleFrom; round-trips are exact (doubles bit-preserved), which
+/// is what makes spilled execution byte-identical to in-memory.
+void EncodeTupleTo(const Tuple& t, std::string* out);
+Status DecodeTupleFrom(ItemReader* reader, Tuple* out);
+
+class SpillRunWriter;
+class SpillRunReader;
+
+/// Owns the temp run files one blocking operator writes while spilling
+/// (DESIGN.md §10). Each run is a flat stream of varint-length-prefixed
+/// opaque records. Files are created under the resolved spill dir with
+/// process-unique names, deleted eagerly once consumed, and swept
+/// best-effort by the destructor so a failed query leaves nothing
+/// behind. All I/O errors (and the spill.io_error fault point) surface
+/// as Status so the query fails cleanly instead of crashing.
+///
+/// Not thread-safe for interleaved writer creation from multiple
+/// threads; the executor uses one manager per (stage, thread) or
+/// serializes access, matching how stages run today.
+class SpillManager {
+ public:
+  /// `ctx` (nullable) supplies the spill.io_error fault point.
+  static Result<std::unique_ptr<SpillManager>> Create(
+      const std::string& dir_hint, QueryContext* ctx);
+
+  ~SpillManager();
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  Result<std::unique_ptr<SpillRunWriter>> NewRun();
+  Result<std::unique_ptr<SpillRunReader>> OpenRun(const std::string& path);
+
+  /// Deletes a fully-consumed run file (also dropped from the
+  /// destructor sweep list).
+  void Remove(const std::string& path);
+
+  uint64_t runs_created() const { return runs_created_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// The spill.io_error fault-injection hook; OK without a context.
+  Status Fault() const {
+    return ctx_ != nullptr ? ctx_->Fault(FaultInjector::kSpillIOError)
+                           : Status::OK();
+  }
+  void AddBytes(uint64_t n) { bytes_written_ += n; }
+
+ private:
+  SpillManager(std::string dir, QueryContext* ctx)
+      : dir_(std::move(dir)), ctx_(ctx) {}
+
+  std::string dir_;
+  QueryContext* ctx_;  // not owned; null = no fault injection
+  uint64_t runs_created_ = 0;
+  uint64_t bytes_written_ = 0;
+  std::vector<std::string> live_files_;
+};
+
+/// Append-only writer for one run file. Records are buffered and
+/// length-prefixed; Finish() flushes and closes (after which the run
+/// can be opened for reading).
+class SpillRunWriter {
+ public:
+  Status Append(std::string_view record);
+  Status Finish();
+  const std::string& path() const { return path_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  friend class SpillManager;
+  SpillRunWriter(SpillManager* manager, std::string path)
+      : manager_(manager), path_(std::move(path)) {}
+
+  Status FlushBuffer();
+
+  SpillManager* manager_;
+  std::string path_;
+  std::ofstream out_;
+  std::string buffer_;
+  uint64_t records_ = 0;
+  bool finished_ = false;
+};
+
+/// Sequential reader over a finished run file.
+class SpillRunReader {
+ public:
+  /// Reads the next record into `*record`; false at end of run.
+  Result<bool> Next(std::string* record);
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class SpillManager;
+  SpillRunReader(SpillManager* manager, std::string path)
+      : manager_(manager), path_(std::move(path)) {}
+
+  Result<bool> FillBuffer(size_t need);
+
+  SpillManager* manager_;
+  std::string path_;
+  std::ifstream in_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_SPILL_H_

@@ -74,6 +74,14 @@ struct ExecStats {
   /// split files into newline-aligned ~morsel_bytes chunks); 0 when
   /// scans ran sequentially.
   uint64_t morsels_scanned = 0;
+  /// Memory-governed spilling (ExecOptions::spill == kEnabled,
+  /// DESIGN.md §10). Run files written by group-by/sort operators that
+  /// exceeded their budget share; all 0 when nothing spilled.
+  uint64_t spill_runs = 0;
+  uint64_t spill_bytes_written = 0;
+  /// Bucket merge passes, counting recursive repartitions of
+  /// hash-collision-heavy buckets.
+  uint64_t spill_merge_passes = 0;
 
   void Merge(const StageStats& stage) { stages.push_back(stage); }
 };

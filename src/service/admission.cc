@@ -31,6 +31,31 @@ Status AdmissionController::Admit(uint64_t cost_bytes) {
   return Status::OK();
 }
 
+Result<uint64_t> AdmissionController::AdmitSoft(uint64_t requested_bytes,
+                                                uint64_t min_grant_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ >= max_queued_) {
+    ++rejected_queue_full_;
+    return Status::Unavailable(
+        "submission queue full (" + std::to_string(queued_) +
+        " queries waiting); retry later");
+  }
+  uint64_t grant = requested_bytes;
+  if (budget_ != 0) {
+    uint64_t available = budget_ > reserved_ ? budget_ - reserved_ : 0;
+    if (grant > available) {
+      grant = available > min_grant_bytes ? available : min_grant_bytes;
+      if (grant > requested_bytes) grant = requested_bytes;
+      ++soft_clipped_;
+    }
+  }
+  reserved_ += grant;
+  ++queued_;
+  ++admitted_;
+  if (queued_ > queued_peak_) queued_peak_ = queued_;
+  return grant;
+}
+
 void AdmissionController::StartRunning() {
   std::lock_guard<std::mutex> lock(mu_);
   if (queued_ > 0) --queued_;
@@ -53,6 +78,7 @@ AdmissionStats AdmissionController::Stats() const {
   s.queued = queued_;
   s.running = running_;
   s.reserved_bytes = reserved_;
+  s.soft_clipped = soft_clipped_;
   return s;
 }
 

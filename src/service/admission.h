@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace jpar {
@@ -18,6 +19,9 @@ struct AdmissionStats {
   uint64_t queued = 0;               // currently waiting
   uint64_t running = 0;              // currently executing
   uint64_t reserved_bytes = 0;       // memory reserved by admitted work
+  /// AdmitSoft grants clipped below the requested reservation (the
+  /// query ran with a smaller spill budget instead of being rejected).
+  uint64_t soft_clipped = 0;
 };
 
 /// Gate between Submit() and the worker pool: a bounded submission
@@ -48,6 +52,17 @@ class AdmissionController {
   /// rejection.
   Status Admit(uint64_t cost_bytes);
 
+  /// Admission for spill-capable queries (ExecOptions::spill ==
+  /// kEnabled): instead of rejecting when the budget is tight, grants
+  /// min(requested, what is left of the budget) — floored at
+  /// `min_grant_bytes`, mildly overcommitting rather than starving a
+  /// query that can degrade to disk anyway. Returns the granted
+  /// reservation; pass the same value to Finish(). The queue-depth
+  /// gate still applies (kUnavailable). With no budget configured the
+  /// full request is granted.
+  Result<uint64_t> AdmitSoft(uint64_t requested_bytes,
+                             uint64_t min_grant_bytes);
+
   /// A worker picked the query up: queued -> running.
   void StartRunning();
 
@@ -68,6 +83,7 @@ class AdmissionController {
   uint64_t rejected_queue_full_ = 0;
   uint64_t rejected_memory_ = 0;
   uint64_t queued_peak_ = 0;
+  uint64_t soft_clipped_ = 0;
 };
 
 }  // namespace jpar

@@ -131,6 +131,9 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
   const EngineOptions& opts = session->options();
 
   // Admission: validate options, then reserve a queue slot and memory.
+  // Spill-capable queries go through AdmitSoft: a tight service budget
+  // shrinks their per-query soft budget instead of rejecting them.
+  const bool spill_capable = opts.exec.spill == SpillMode::kEnabled;
   uint64_t cost = opts.exec.memory_limit_bytes > 0
                       ? opts.exec.memory_limit_bytes
                       : options_.default_query_cost_bytes;
@@ -140,7 +143,21 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
         "SubmitOptions::deadline_ms must be >= 0, got " +
         std::to_string(submit.deadline_ms));
   }
-  if (st.ok()) st = admission_.Admit(cost);
+  if (st.ok()) {
+    if (spill_capable) {
+      uint64_t floor_bytes = options_.memory_budget_bytes / 16;
+      if (floor_bytes < (1ull << 20)) floor_bytes = 1ull << 20;
+      if (floor_bytes > cost) floor_bytes = cost;
+      Result<uint64_t> grant = admission_.AdmitSoft(cost, floor_bytes);
+      if (grant.ok()) {
+        cost = *grant;
+      } else {
+        st = grant.status();
+      }
+    } else {
+      st = admission_.Admit(cost);
+    }
+  }
   if (!st.ok()) {
     ++rejected_;
     ++session->rejected_;
@@ -170,7 +187,7 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
   // the client drops its handle right after Submit().
   std::shared_ptr<Session> self = session->shared_from_this();
   pool_.Submit([this, self, state, query = std::move(query),
-                key = std::move(key), cost, deadline]() {
+                key = std::move(key), cost, spill_capable, deadline]() {
     admission_.StartRunning();
     Status st;
     QueryOutput output;
@@ -181,7 +198,15 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
       // queue slot and memory returned.
       AdmissionRelease release(&admission_, cost);
       if (options_.on_query_start) options_.on_query_start(query);
-      const EngineOptions& opts = self->options();
+      EngineOptions opts = self->options();
+      // A spill-capable query runs under the budget admission actually
+      // granted it (possibly clipped below its request); derive the
+      // operator budget from the grant so the global budget holds.
+      if (spill_capable && options_.memory_budget_bytes != 0 &&
+          (opts.exec.memory_limit_bytes == 0 ||
+           cost < opts.exec.memory_limit_bytes)) {
+        opts.exec.memory_limit_bytes = cost;
+      }
 
       QueryContext ctx;
       ctx.set_cancellation(state->cancel);
@@ -277,6 +302,7 @@ std::string ServiceMetrics::ToString() const {
   line("admitted", admission.admitted);
   line("rejected (queue full)", admission.rejected_queue_full);
   line("rejected (memory)", admission.rejected_memory);
+  line("soft-budget grants clipped", admission.soft_clipped);
   line("queued peak", admission.queued_peak);
   line("reserved bytes", admission.reserved_bytes);
   return out;

@@ -37,7 +37,11 @@ struct ServiceOptions {
   uint64_t max_queue_depth = 64;
   /// Global memory budget across in-flight queries; 0 = unlimited.
   /// Submissions whose reservation does not fit are rejected with
-  /// kResourceExhausted.
+  /// kResourceExhausted — unless the session enables spilling
+  /// (ExecOptions::spill == kEnabled), in which case admission clips
+  /// the reservation to what is left of the budget (floored at
+  /// max(1 MiB, budget/16)) and runs the query with that smaller soft
+  /// budget instead of rejecting it (DESIGN.md §10).
   uint64_t memory_budget_bytes = 0;
   /// Reservation charged for a query whose ExecOptions does not set
   /// memory_limit_bytes.

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "json/binary_serde.h"
 #include "json/parser.h"
 
@@ -573,6 +576,43 @@ TEST(ValidateExecOptionsTest, RejectsUnknownScanMode) {
   EXPECT_TRUE(ValidateExecOptions(o).ok());
   o.scan_mode = ScanMode::kIndexed;
   EXPECT_TRUE(ValidateExecOptions(o).ok());
+}
+
+TEST(ValidateExecOptionsTest, RejectsBadSpillKnobs) {
+  ExecOptions o;
+  o.spill = static_cast<SpillMode>(7);
+  Status st = ValidateExecOptions(o);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("spill"), std::string::npos) << st.ToString();
+
+  // Spill knobs only matter once spilling is enabled: a disabled config
+  // with nonsense fan-out still validates (it is never consulted).
+  o = ExecOptions();
+  o.spill_fanout = -3;
+  EXPECT_TRUE(ValidateExecOptions(o).ok());
+
+  o.spill = SpillMode::kEnabled;
+  st = ValidateExecOptions(o);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("spill_fanout"), std::string::npos)
+      << st.ToString();
+  o.spill_fanout = 1;  // a fan-out below 2 cannot shrink a bucket
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  o.spill_fanout = 2;
+  EXPECT_TRUE(ValidateExecOptions(o).ok()) << ValidateExecOptions(o).ToString();
+
+  // A spill_dir that does not exist (or is not a directory — a regular
+  // file here, since permission bits are invisible to root) is rejected
+  // up front rather than at first flush.
+  o.spill_dir = "/nonexistent/jpar/spill";
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  std::string file_path = ::testing::TempDir() + "/jpar_spill_dir_file";
+  { std::ofstream(file_path) << "x"; }
+  o.spill_dir = file_path;
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  std::remove(file_path.c_str());
+  o.spill_dir = ::testing::TempDir();
+  EXPECT_TRUE(ValidateExecOptions(o).ok()) << ValidateExecOptions(o).ToString();
 }
 
 TEST(ValidateExecOptionsTest, ExecutorRunRejectsBadRobustnessKnobs) {

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -260,6 +261,57 @@ TEST(LifecycleMatrixTest, EachFaultPointFailsThenRecovers) {
     faults.Disarm(fc.point);
     ExpectSubsequentQuerySucceeds(session.get(), fc.query, expected);
   }
+}
+
+// A spill I/O fault fails the query cleanly — with the injected code,
+// with every temp run file removed, and with the same engine serving
+// the same query once the fault is disarmed (and once spilling
+// actually happens, since the fault sits on the spill I/O path).
+TEST(LifecycleMatrixTest, SpillIOFaultFailsCleanlyAndRemovesTempFiles) {
+  namespace fs = std::filesystem;
+  const std::string spill_dir = ::testing::TempDir() + "/jpar_spill_fault";
+  fs::remove_all(spill_dir);
+  fs::create_directories(spill_dir);
+
+  // Grouping on the distinct "v" field yields one group per document —
+  // far over the 1 KiB budget, so the group table must spill.
+  constexpr const char* kWideGroupBy = R"(
+      for $d in collection("/c")
+      group by $v := $d("v")
+      return sum($d("v")))";
+  FaultInjector faults;
+  Engine engine;
+  RegisterDocs(engine.catalog(), MakeDocs(600));
+  auto compiled = engine.Compile(kWideGroupBy);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  ExecOptions exec;
+  exec.partitions = 2;
+  exec.memory_limit_bytes = 1024;
+  exec.spill = SpillMode::kEnabled;
+  exec.spill_dir = spill_dir;
+
+  faults.ArmProbability(FaultInjector::kSpillIOError, 1.0,
+                        Status::Internal("injected: spill device failed"));
+  QueryContext ctx;
+  ctx.set_fault_injector(&faults);
+  auto out = engine.Execute(*compiled, exec, &ctx);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal)
+      << out.status().ToString();
+  EXPECT_GE(faults.injected_count(FaultInjector::kSpillIOError), 1u);
+  // The failed query left no temp runs behind.
+  EXPECT_TRUE(fs::is_empty(spill_dir));
+
+  faults.Disarm(FaultInjector::kSpillIOError);
+  QueryContext retry_ctx;
+  retry_ctx.set_fault_injector(&faults);
+  auto retry = engine.Execute(*compiled, exec, &retry_ctx);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_GT(retry->stats.spill_runs, 0u);
+  // Consumed runs are removed eagerly; success leaves the dir empty too.
+  EXPECT_TRUE(fs::is_empty(spill_dir));
+  fs::remove_all(spill_dir);
 }
 
 // worker.stall does not fail by itself — it models a stuck worker, so

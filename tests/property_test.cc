@@ -231,6 +231,89 @@ TEST_P(SeededTest, RewritePreservesSemantics) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Spill soundness (DESIGN.md §10): randomized NDJSON batches with
+// controlled group cardinality and skew, aggregated with and without a
+// spilling budget. Values are integers, so sums are exact in doubles
+// and the comparison can demand byte-identical rows.
+// ---------------------------------------------------------------------
+
+Collection RandomNdjsonBatch(Rng* rng) {
+  // Cardinality from "one giant group" to "every row its own group";
+  // half the rows land on one hot key so some buckets are skewed enough
+  // to force recursive repartitions at small fan-outs.
+  int cardinality = 1 + rng->NextInt(60);
+  bool skewed = rng->NextInt(2) == 0;
+  int files = 1 + rng->NextInt(3);
+  int rows_per_file = 30 + rng->NextInt(90);
+  Collection c;
+  for (int f = 0; f < files; ++f) {
+    std::string text;
+    for (int i = 0; i < rows_per_file; ++i) {
+      int group = skewed && rng->NextInt(2) == 0 ? 0 : rng->NextInt(cardinality);
+      text += "{\"g\": \"key" + std::to_string(group) +
+              "\", \"v\": " + std::to_string(rng->NextInt(20001) - 10000) +
+              "}\n";
+    }
+    c.files.push_back(JsonFile::FromText(std::move(text)));
+  }
+  return c;
+}
+
+TEST_P(SeededTest, SpillMatchesInMemoryOnRandomGroupBys) {
+  Rng rng(GetParam() ^ 0x5B111);
+  const char* queries[] = {
+      R"(for $d in collection("/b") group by $g := $d("g")
+         return count($d("v")))",
+      R"(for $d in collection("/b") group by $g := $d("g")
+         return sum($d("v")))",
+      R"(for $d in collection("/b") group by $g := $d("g")
+         return min($d("v")))",
+      R"(for $d in collection("/b") group by $g := $d("g")
+         return max($d("v")))",
+      R"(for $d in collection("/b") group by $g := $d("g")
+         return avg($d("v")))",
+  };
+  for (int round = 0; round < 3; ++round) {
+    Collection data = RandomNdjsonBatch(&rng);
+    uint64_t budget = 256u << rng.NextInt(4);
+    int fanout = rng.NextInt(2) == 0 ? 2 : 8;
+    int partitions = 1 + rng.NextInt(3);
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
+                 " round=" + std::to_string(round) +
+                 " budget=" + std::to_string(budget) +
+                 " fanout=" + std::to_string(fanout) +
+                 " partitions=" + std::to_string(partitions));
+    for (const char* query : queries) {
+      SCOPED_TRACE(query);
+      std::vector<std::string> baseline;
+      for (bool spill : {false, true}) {
+        EngineOptions options;
+        options.exec.partitions = partitions;
+        if (spill) {
+          options.exec.memory_limit_bytes = budget;
+          options.exec.spill = SpillMode::kEnabled;
+          options.exec.spill_fanout = fanout;
+        }
+        Engine engine(options);
+        engine.catalog()->RegisterCollection("/b", data);
+        auto result = engine.Run(query);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        std::vector<std::string> rows;
+        for (const Item& item : result->items) {
+          rows.push_back(item.ToJsonString());
+        }
+        std::sort(rows.begin(), rows.end());
+        if (!spill) {
+          baseline = rows;
+        } else {
+          EXPECT_EQ(rows, baseline);
+        }
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 

@@ -136,6 +136,39 @@ TEST(AdmissionTest, BoundedQueue) {
   EXPECT_EQ(s.running, 1u);
 }
 
+TEST(AdmissionTest, SoftAdmissionClipsInsteadOfRejecting) {
+  AdmissionController ac(/*memory_budget_bytes=*/100, /*max_queue_depth=*/2);
+  // A request beyond the whole budget is clipped to what is available.
+  Result<uint64_t> grant = ac.AdmitSoft(150, /*min_grant_bytes=*/10);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(*grant, 100u);
+  // Budget exhausted: the floor wins, overcommitting mildly.
+  grant = ac.AdmitSoft(60, /*min_grant_bytes=*/10);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(*grant, 10u);
+  // The queue-depth gate still applies to spill-capable queries.
+  EXPECT_EQ(ac.AdmitSoft(1, 1).status().code(), StatusCode::kUnavailable);
+
+  AdmissionStats s = ac.Stats();
+  EXPECT_EQ(s.soft_clipped, 2u);
+  EXPECT_EQ(s.rejected_memory, 0u);
+  EXPECT_EQ(s.rejected_queue_full, 1u);
+  EXPECT_EQ(s.reserved_bytes, 110u);
+
+  ac.StartRunning();
+  ac.Finish(100);  // release exactly what was granted
+  ac.StartRunning();
+  ac.Finish(10);
+  EXPECT_EQ(ac.Stats().reserved_bytes, 0u);
+
+  // With no budget the full request is granted unclipped.
+  AdmissionController unlimited(0, 2);
+  grant = unlimited.AdmitSoft(1ull << 40, 1);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(*grant, 1ull << 40);
+  EXPECT_EQ(unlimited.Stats().soft_clipped, 0u);
+}
+
 TEST(AdmissionTest, UnavailableStatusString) {
   EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
@@ -308,6 +341,50 @@ TEST(QueryServiceTest, MemoryBudgetRejectsWhileInFlightCompletes) {
   QueryTicket retry = session->Submit(kSortedTailQuery);
   retry.Wait();
   EXPECT_TRUE(retry.status().ok()) << retry.status().ToString();
+}
+
+// The spill-enabled twin of the test above: under the same budget
+// pressure, a session that can degrade to disk is admitted with a
+// clipped grant instead of being rejected, and its query still
+// succeeds (running under the smaller soft budget).
+TEST(QueryServiceTest, SpillCapableSessionClippedInsteadOfRejected) {
+  QueryGate gate;
+  ServiceOptions options;
+  options.worker_threads = 2;
+  options.memory_budget_bytes = 100ull << 20;
+  options.on_query_start = gate.Hook();
+  options.engine.exec.memory_limit_bytes = 60ull << 20;
+  QueryService service(options);
+  RegisterDocs(service.catalog(), MakeDocs());
+  auto strict_session = service.CreateSession();
+
+  EngineOptions spill_opts = options.engine;
+  spill_opts.exec.spill = SpillMode::kEnabled;
+  auto spill_session = service.CreateSession(spill_opts);
+
+  QueryTicket in_flight = strict_session->Submit(kSortedTailQuery);
+  gate.AwaitStarted(1);  // holds 60 MB of the 100 MB budget
+
+  // Only 40 MB remain; the same 60 MB request from the spill-capable
+  // session is clipped, not rejected.
+  QueryTicket clipped = spill_session->Submit(kSortedTailQuery);
+  gate.Release();
+
+  EXPECT_TRUE(in_flight.status().ok()) << in_flight.status().ToString();
+  EXPECT_TRUE(clipped.status().ok()) << clipped.status().ToString();
+  EXPECT_EQ(Rows(clipped.output()),
+            (std::vector<std::string>{"59", "58", "57", "56", "55"}));
+
+  service.Drain();
+  ServiceMetrics m = service.Metrics();
+  EXPECT_EQ(m.admission.soft_clipped, 1u);
+  EXPECT_EQ(m.admission.rejected_memory, 0u);
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_EQ(m.succeeded, 2u);
+  EXPECT_EQ(m.admission.reserved_bytes, 0u);
+  // The metrics dump names the new counter.
+  EXPECT_NE(m.ToString().find("soft-budget grants clipped"),
+            std::string::npos);
 }
 
 TEST(QueryServiceTest, FullQueueRejectsWithUnavailable) {

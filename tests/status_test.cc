@@ -100,5 +100,23 @@ TEST(ResultTest, AssignOrReturnMacro) {
   EXPECT_EQ(consumer(true).status().code(), StatusCode::kInternal);
 }
 
+TEST(ResultTest, AssignOrReturnIntoExistingVariable) {
+  // The spill runtime threads Result values into variables declared
+  // before the call (loop-carried readers, granted budgets), so the
+  // macro must accept a plain lvalue as its lhs, not only a
+  // declaration.
+  auto producer = [](bool fail) -> Result<uint64_t> {
+    if (fail) return Status::ResourceExhausted("no budget");
+    return uint64_t{4096};
+  };
+  auto consumer = [&](bool fail) -> Result<uint64_t> {
+    uint64_t granted = 0;
+    JPAR_ASSIGN_OR_RETURN(granted, producer(fail));
+    return granted / 2;
+  };
+  EXPECT_EQ(*consumer(false), 2048u);
+  EXPECT_EQ(consumer(true).status().code(), StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace jpar
