@@ -11,14 +11,29 @@ if [ -d build ] && [ "${start}" -eq 0 ]; then
   ctest --test-dir build -L tier1 -j "$(nproc 2>/dev/null || echo 2)" \
     --output-on-failure || exit 1
 fi
+# Distributed benches spawn worker processes; point them at the built
+# binary when present (they also carry a compiled-in default).
+[ -x build/src/jpar_worker ] && \
+  JPAR_WORKER_BIN="$(pwd)/build/src/jpar_worker" && export JPAR_WORKER_BIN
 i=0
-for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
+# Compare against the bench sources so a binary that failed to build is
+# a visible warning, not a silent gap in bench_output.txt.
+for src in bench/bench_*.cc; do
+  name=$(basename "$src" .cc)
+  b="build/bench/$name"
+  if [ ! -f "$b" ] || [ ! -x "$b" ]; then
+    echo "WARNING: bench binary missing, skipping: $b (build it with" \
+         "cmake --build build --target $name)" >&2
+    continue
+  fi
   if [ "$i" -ge "$start" ]; then
-    echo "=== $(basename "$b") ==="
+    echo "=== $name ==="
     timeout 900 "$b"
   fi
   i=$((i + 1))
 done
 [ -f BENCH_scan_throughput.json ] && \
   echo "scan throughput record: BENCH_scan_throughput.json"
+[ -f BENCH_dist_cluster.json ] && \
+  echo "distributed cluster record: BENCH_dist_cluster.json"
+exit 0

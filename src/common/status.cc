@@ -2,7 +2,7 @@
 
 namespace jpar {
 
-static_assert(static_cast<int>(StatusCode::kDeadlineExceeded) + 1 ==
+static_assert(static_cast<int>(StatusCode::kWorkerLost) + 1 ==
                   kStatusCodeCount,
               "added a StatusCode? bump kStatusCodeCount and name it in "
               "StatusCodeToString");
@@ -33,6 +33,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kWorkerLost:
+      return "WorkerLost";
   }
   return "Unknown";
 }

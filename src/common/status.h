@@ -24,12 +24,13 @@ enum class StatusCode : int {
   kUnavailable = 9,  // transient overload: retry later (queue full)
   kCancelled = 10,         // the client cancelled the query
   kDeadlineExceeded = 11,  // the query's deadline passed before it finished
+  kWorkerLost = 12,        // a distributed worker died or went silent
 };
 
 /// One past the largest StatusCode value. status.cc static_asserts this
 /// against the enum and tests iterate [0, kStatusCodeCount) through
 /// StatusCodeToString, so a new code cannot land without a name.
-inline constexpr int kStatusCodeCount = 12;
+inline constexpr int kStatusCodeCount = 13;
 
 /// Returns a stable human-readable name for a status code.
 std::string_view StatusCodeToString(StatusCode code);
@@ -73,6 +74,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status WorkerLost(std::string msg) {
+    return Status(StatusCode::kWorkerLost, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

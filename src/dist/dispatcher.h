@@ -1,0 +1,180 @@
+#ifndef JPAR_DIST_DISPATCHER_H_
+#define JPAR_DIST_DISPATCHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "dist/exchange.h"
+#include "dist/fragment.h"
+#include "dist/protocol.h"
+#include "dist/wire.h"
+
+namespace jpar {
+
+/// Cluster topology and failure-detection knobs (DESIGN.md §11).
+struct DistOptions {
+  /// Worker processes to spawn locally over socketpairs (the test and
+  /// single-host deployment). Dead local workers are respawned at the
+  /// start of the next query.
+  int local_workers = 0;
+  /// Already-running workers to attach by endpoint ("host:port" or
+  /// "unix:<path>"); appended after the locally spawned ranks.
+  std::vector<std::string> endpoints;
+  /// Worker executable for local spawns; empty falls back to the
+  /// JPAR_WORKER_BIN environment variable.
+  std::string worker_binary;
+  /// Initial send credits per direction of each worker connection; the
+  /// in-flight exchange data is bounded by credit_window × frame_bytes.
+  uint32_t credit_window = 64;
+  /// Ping a busy worker after this much silence.
+  int heartbeat_ms = 1000;
+  /// Declare a worker lost (kWorkerLost) after this much silence.
+  int worker_timeout_ms = 10000;
+  /// After a cancel broadcast, how long to wait for workers to
+  /// acknowledge with kOutputEof before force-dropping them.
+  int drain_timeout_ms = 2000;
+
+  bool enabled() const { return local_workers > 0 || !endpoints.empty(); }
+};
+
+/// The dispatcher: owns the worker connections and runs distributed
+/// queries round by round — one fragment stage per round, every worker
+/// running its rank's fragment, all shuffle traffic routed through the
+/// dispatcher (star topology, ordered by source rank so results are
+/// byte-identical to the in-process exchange).
+///
+/// Thread-safe: Run() serializes distributed queries internally; the
+/// per-worker reader threads handle frames, credits, and completion
+/// concurrently with the sender side.
+class Cluster {
+ public:
+  explicit Cluster(DistOptions options) : options_(std::move(options)) {}
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Spawns/attaches and handshakes all configured workers. Also called
+  /// lazily by Run(); exposed so callers can fail fast at startup.
+  Status Start();
+
+  /// Sends kShutdown, reaps local worker processes (SIGKILL after
+  /// drain_timeout_ms), and joins reader threads. Idempotent.
+  void Stop();
+
+  int worker_count() const {
+    return options_.local_workers + static_cast<int>(options_.endpoints.size());
+  }
+
+  /// Whether this plan's shape can run distributed (see
+  /// SplitPlanForDistribution); callers fall back to in-process
+  /// execution when false.
+  static bool CanDistribute(const PhysicalPlan& plan);
+
+  /// Runs `compiled` (the compilation of `query` under `rules`) across
+  /// the cluster and gathers the result. `catalog` is shipped to any
+  /// worker whose replica is older than catalog->version(). `ctx` may
+  /// be null; with a null ctx a positive exec.deadline_ms starts
+  /// counting now. A worker that dies or goes silent mid-query yields
+  /// kWorkerLost; local workers are respawned on the next query.
+  Result<QueryOutput> Run(const std::string& query, const RuleOptions& rules,
+                          const ExecOptions& exec,
+                          const CompiledQuery& compiled,
+                          const Catalog& catalog, QueryContext* ctx);
+
+ private:
+  struct Worker {
+    int rank = 0;
+    bool local = false;
+    std::string endpoint;  // attached workers only
+    Socket sock;
+    std::mutex send_mu;
+    std::thread reader;
+    pid_t pid = -1;  // local child pid; -1 until hello (attached: remote pid)
+
+    // State below is guarded by Cluster::mu_ unless noted.
+    bool alive = false;
+    bool hello_seen = false;
+    uint64_t synced_version = 0;
+    bool sync_acked = false;
+    Status death;  // why the connection died
+    /// Last time the reader heard anything (atomic millis since epoch).
+    std::atomic<int64_t> last_heard_ms{0};
+    std::chrono::steady_clock::time_point last_ping{};
+    /// Dispatcher -> worker data-frame credits (self-synchronized).
+    CreditWindow send_window;
+  };
+
+  /// Per-round collection state, guarded by mu_. `out[src][bucket]`
+  /// holds worker src's output frames for bucket, in arrival order
+  /// (each worker sends its buckets in order on one connection).
+  struct Round {
+    bool active = false;
+    int fanout = 1;
+    std::vector<std::vector<std::vector<FrameMsg>>> out;
+    std::vector<bool> done;
+    std::vector<Status> status;
+    std::vector<ExecStats> stats;
+    int done_count = 0;
+    uint64_t frames = 0;
+    uint64_t bytes = 0;
+    Status failure;  // first fragment failure or worker loss
+    QueryContext* ctx = nullptr;  // for exchange fault injection
+  };
+
+  Status EnsureWorkers();
+  Status SpawnLocal(Worker* worker);
+  Status AttachRemote(Worker* worker);
+  Status AwaitHello(Worker* worker);
+  void DropWorker(Worker* worker, const Status& why);
+  void ReapLocal(Worker* worker, bool graceful);
+
+  Status SyncCatalog(const Catalog& catalog);
+
+  /// One fragment round: dispatch stage to every rank, route inputs,
+  /// collect outputs and EOFs. `stage_out[s]` holds finished stage s's
+  /// frames as [src][bucket].
+  Status RunRound(
+      const std::string& query, const RuleOptions& rules,
+      const ExecOptions& exec, const FragmentStage& stage, int fanout,
+      const std::vector<std::vector<std::vector<std::vector<FrameMsg>>>>&
+          stage_out,
+      QueryContext* ctx, ExecStats* stats,
+      std::vector<std::vector<std::vector<FrameMsg>>>* round_out);
+
+  void SenderLoop(Worker* worker, const std::string& query,
+                  const RuleOptions& rules, const ExecOptions& exec,
+                  const FragmentStage& stage, int fanout,
+                  double deadline_remaining_ms,
+                  const std::vector<std::vector<std::vector<std::vector<
+                      FrameMsg>>>>& stage_out,
+                  QueryContext* ctx);
+
+  void ReaderLoop(Worker* worker);
+  void OnOutputFrame(Worker* worker, FrameMsg frame);
+  void OnOutputEof(Worker* worker, OutputEofMsg eof);
+
+  /// Broadcast kCancel(code,message) to workers still busy this round.
+  void CancelRound(const Status& why);
+
+  DistOptions options_;
+  std::mutex query_mu_;  // one distributed query at a time
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Round round_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_DIST_DISPATCHER_H_

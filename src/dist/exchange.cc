@@ -1,0 +1,82 @@
+#include "dist/exchange.h"
+
+#include <chrono>
+#include <utility>
+
+namespace jpar {
+
+void CreditWindow::Reset(uint32_t credits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  credits_ = credits;
+  poison_ = Status::OK();
+  cv_.notify_all();
+}
+
+Status CreditWindow::Acquire(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto ready = [this] { return credits_ > 0 || !poison_.ok(); };
+  if (timeout_ms > 0) {
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+      return Status::Unavailable(
+          "exchange credit starvation: no credit granted within " +
+          std::to_string(timeout_ms) + "ms");
+    }
+  } else {
+    cv_.wait(lock, ready);
+  }
+  if (!poison_.ok()) return poison_;
+  --credits_;
+  return Status::OK();
+}
+
+void CreditWindow::Grant(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  credits_ += n;
+  cv_.notify_all();
+}
+
+void CreditWindow::Poison(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poison_.ok() && !status.ok()) poison_ = std::move(status);
+  cv_.notify_all();
+}
+
+std::vector<FrameMsg> TuplesToFrames(const std::vector<Tuple>& tuples,
+                                     uint32_t channel, size_t frame_bytes) {
+  FrameBuilder builder(frame_bytes);
+  for (const Tuple& tuple : tuples) builder.Append(tuple);
+  std::vector<Frame> frames = builder.Finish();
+  std::vector<FrameMsg> out;
+  out.reserve(frames.size());
+  for (Frame& frame : frames) {
+    FrameMsg msg;
+    msg.channel = channel;
+    msg.tuple_count = frame.tuple_count;
+    msg.bytes = std::move(frame.bytes);
+    out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+Status AppendFrameTuples(const FrameMsg& frame, std::vector<Tuple>* out) {
+  std::vector<Frame> frames(1);
+  frames[0].bytes = frame.bytes;
+  frames[0].tuple_count = frame.tuple_count;
+  FrameReader reader(frames);
+  uint32_t decoded = 0;
+  while (true) {
+    Tuple tuple;
+    JPAR_ASSIGN_OR_RETURN(bool have, reader.Next(&tuple));
+    if (!have) break;
+    out->push_back(std::move(tuple));
+    ++decoded;
+  }
+  if (decoded != frame.tuple_count) {
+    return Status::IOError("frame tuple count mismatch: header says " +
+                           std::to_string(frame.tuple_count) + ", decoded " +
+                           std::to_string(decoded));
+  }
+  return Status::OK();
+}
+
+}  // namespace jpar

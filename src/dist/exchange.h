@@ -1,0 +1,54 @@
+#ifndef JPAR_DIST_EXCHANGE_H_
+#define JPAR_DIST_EXCHANGE_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/protocol.h"
+#include "runtime/frame.h"
+#include "runtime/tuple.h"
+
+namespace jpar {
+
+/// Credit-based backpressure for one direction of a worker connection.
+/// The sender Acquire()s one credit per data frame; the receiver
+/// Grant()s a credit back per frame it has ingested, bounding the bytes
+/// in flight to window × frame_bytes. Poison() wakes every blocked
+/// sender with a terminal status (peer death, cancellation) so nobody
+/// waits on credits that will never arrive.
+class CreditWindow {
+ public:
+  /// Arms the window with `credits` initial send credits and clears any
+  /// previous poison.
+  void Reset(uint32_t credits);
+
+  /// Takes one credit, blocking until one is granted, the window is
+  /// poisoned, or `timeout_ms` elapses (timeout <= 0 waits forever).
+  Status Acquire(int timeout_ms = -1);
+
+  void Grant(uint32_t n);
+
+  /// Terminal: every current and future Acquire() returns `status`.
+  void Poison(Status status);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t credits_ = 0;
+  Status poison_ = Status::OK();
+};
+
+/// Packs `tuples` into wire frames of ~`frame_bytes` each, all bound to
+/// `channel`. The frame payloads reuse the runtime/frame.h encoding.
+std::vector<FrameMsg> TuplesToFrames(const std::vector<Tuple>& tuples,
+                                     uint32_t channel, size_t frame_bytes);
+
+/// Decodes one wire frame, appending its tuples to *out. Rejects
+/// payloads whose decoded tuple count disagrees with the header.
+Status AppendFrameTuples(const FrameMsg& frame, std::vector<Tuple>* out);
+
+}  // namespace jpar
+
+#endif  // JPAR_DIST_EXCHANGE_H_

@@ -1,0 +1,69 @@
+#ifndef JPAR_DIST_FRAGMENT_H_
+#define JPAR_DIST_FRAGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/executor.h"
+#include "runtime/operators.h"
+
+namespace jpar {
+
+/// One stage of a distributed plan: the largest unit of work that runs
+/// on a worker without crossing an exchange boundary. Node pointers
+/// reference the CompiledQuery's plan, which must outlive the split.
+struct FragmentStage {
+  /// What the stage computes before its post-ops run.
+  enum class Core : uint8_t {
+    /// The whole plan subtree below the first exchange (scans and
+    /// streaming ops); each worker runs it over its slice of the
+    /// collection files.
+    kLeaf,
+    /// The global half of a group-by over one exchanged partition.
+    kGroupByMerge,
+    /// One partition of a hash join over two exchanged inputs.
+    kJoin,
+  };
+
+  int id = 0;
+  Core core = Core::kLeaf;
+  /// kLeaf: the subtree root (a pipeline). kGroupByMerge: the GROUP-BY
+  /// node. kJoin: the JOIN node.
+  const PNode* core_node = nullptr;
+  /// Streaming ops applied to the core's output on the same worker
+  /// (e.g. the projection above a group-by).
+  std::vector<UnaryOpDesc> post_ops;
+  /// Two-step aggregation: the producer-side local pre-aggregation run
+  /// after post_ops, before the shuffle (null = none).
+  const PNode* local_groupby = nullptr;
+  /// kGroupByMerge: inputs are two-step partials (AggStep::kGlobal)
+  /// rather than raw tuples (AggStep::kComplete).
+  bool from_partials = false;
+  /// Producer stage ids feeding this stage's input slots, in slot
+  /// order (kGroupByMerge: one; kJoin: left then right).
+  std::vector<int> inputs;
+  /// How this stage's output is routed to its consumer: hash keys for
+  /// a shuffle; empty + shuffled=false for the final gather.
+  std::vector<ScalarEvalPtr> shuffle_keys;
+  bool shuffled = false;
+};
+
+/// A physical plan split at its exchange boundaries into stages in
+/// topological (execution) order; the last stage gathers the result.
+struct StagePlan {
+  std::vector<FragmentStage> stages;
+  int result_column = 0;
+};
+
+/// Splits `plan` for distributed execution. Deterministic: dispatcher
+/// and workers run it on the same recompiled plan and derive identical
+/// stage ids. Returns kUnsupported for shapes the distributed runtime
+/// cannot run (sorts, EMPTY-TUPLE-SOURCE leaves, index-assisted scans,
+/// expressions that read collections directly) — callers fall back to
+/// single-process execution.
+Result<StagePlan> SplitPlanForDistribution(const PhysicalPlan& plan);
+
+}  // namespace jpar
+
+#endif  // JPAR_DIST_FRAGMENT_H_

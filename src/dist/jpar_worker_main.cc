@@ -1,0 +1,85 @@
+// jpar_worker: the distributed worker process (DESIGN.md §11).
+//
+//   jpar_worker --socket-fd N       serve a dispatcher on inherited fd N
+//                                   (how the dispatcher spawns local
+//                                   workers over a socketpair)
+//   jpar_worker --listen ENDPOINT   accept dispatchers on "host:port" or
+//                                   "unix:<path>", one at a time
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "dist/wire.h"
+#include "dist/worker.h"
+
+namespace {
+
+int Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: jpar_worker --socket-fd N | --listen ENDPOINT\n"
+               "  --socket-fd N     serve the dispatcher on inherited fd N\n"
+               "  --listen ENDPOINT accept dispatchers on host:port or "
+               "unix:<path>\n");
+  return out == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int socket_fd = -1;
+  std::string listen_endpoint;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket-fd" && i + 1 < argc) {
+      socket_fd = std::atoi(argv[++i]);
+    } else if (arg == "--listen" && i + 1 < argc) {
+      listen_endpoint = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(stdout);
+    } else {
+      std::fprintf(stderr, "jpar_worker: unknown argument: %s\n", arg.c_str());
+      return Usage(stderr);
+    }
+  }
+
+  if (socket_fd >= 0) {
+    jpar::WorkerServer server;
+    jpar::Status st = server.Serve(jpar::Socket(socket_fd));
+    if (!st.ok()) {
+      std::fprintf(stderr, "jpar_worker: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!listen_endpoint.empty()) {
+    auto listener = jpar::Socket::ListenOn(listen_endpoint);
+    if (!listener.ok()) {
+      std::fprintf(stderr, "jpar_worker: %s\n",
+                   listener.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "jpar_worker: listening on %s\n",
+                 listen_endpoint.c_str());
+    while (true) {
+      auto conn = listener->Accept();
+      if (!conn.ok()) {
+        std::fprintf(stderr, "jpar_worker: %s\n",
+                     conn.status().ToString().c_str());
+        return 1;
+      }
+      // Fresh server state per dispatcher: a new dispatcher must not
+      // see a previous one's catalog or plan cache.
+      jpar::WorkerServer server;
+      jpar::Status st = server.Serve(*std::move(conn));
+      if (!st.ok()) {
+        std::fprintf(stderr, "jpar_worker: connection failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+
+  return Usage(stderr);
+}

@@ -1,0 +1,78 @@
+#ifndef JPAR_DIST_WORKER_H_
+#define JPAR_DIST_WORKER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "dist/exchange.h"
+#include "dist/fragment.h"
+#include "dist/protocol.h"
+#include "dist/wire.h"
+
+namespace jpar {
+
+/// The worker half of the distributed protocol (DESIGN.md §11): serves
+/// one dispatcher connection, holding a catalog replica (kSyncCatalog)
+/// and a plan cache, and runs one fragment at a time:
+///
+///   kRunFragment -> [kInputFrame* kInputEof]×num_inputs ->
+///     execute -> kOutputFrame* -> kOutputEof
+///
+/// While a fragment executes, a control-pump thread keeps draining the
+/// connection so kCancel, kPing, and kCredit are honored mid-fragment;
+/// output frames wait on a credit window the dispatcher replenishes.
+class WorkerServer {
+ public:
+  WorkerServer() = default;
+
+  /// Serves `sock` until the dispatcher sends kShutdown or closes the
+  /// connection (both clean: returns OK). Protocol violations and
+  /// socket errors return the failure; the caller drops the connection.
+  Status Serve(Socket sock);
+
+ private:
+  struct PlanEntry {
+    CompiledQuery compiled;
+    StagePlan split;
+  };
+
+  /// Compile (or fetch the cached compilation of) query+rules and its
+  /// stage split. The cache key includes the rule bitmask: the same
+  /// query under different rules yields different plans.
+  Result<PlanEntry*> GetPlan(const std::string& query,
+                             const RuleOptions& rules);
+
+  /// One kRunFragment round-trip. Fragment-level failures (bad stage,
+  /// execution errors, cancel, deadline) are reported via kOutputEof
+  /// and return OK; a non-OK return means the connection is unusable.
+  Status HandleFragment(Socket* sock, std::mutex* send_mu,
+                        std::string_view payload);
+
+  Result<std::vector<std::vector<Tuple>>> ExecuteStage(
+      const FragmentRequest& req, const FragmentStage& stage,
+      std::vector<std::vector<Tuple>> inputs, QueryContext* ctx,
+      ExecStats* stats) const;
+
+  /// The catalog slice worker `rank` of `count` scans: file i of every
+  /// collection goes to rank i % count — exactly the in-process
+  /// round-robin file->partition assignment, so the union of all ranks'
+  /// single-partition scans equals an in-process partitions=count run.
+  Catalog SliceCatalog(int rank, int count) const;
+
+  Engine engine_;
+  uint64_t catalog_version_ = 0;
+  std::map<std::string, std::unique_ptr<PlanEntry>> plan_cache_;
+  bool shutdown_ = false;
+  /// Set by the control-pump thread when kShutdown arrives mid-fragment;
+  /// folded into shutdown_ after the pump is joined.
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_DIST_WORKER_H_

@@ -49,10 +49,12 @@ std::string Catalog::NormalizeName(std::string_view name) {
 void Catalog::RegisterCollection(std::string_view name,
                                  Collection collection) {
   collections_[NormalizeName(name)] = std::move(collection);
+  ++version_;
 }
 
 void Catalog::RegisterDocument(std::string_view name, JsonFile file) {
   documents_.insert_or_assign(NormalizeName(name), std::move(file));
+  ++version_;
 }
 
 Result<const Collection*> Catalog::GetCollection(
@@ -102,6 +104,7 @@ Status Catalog::BuildPathIndex(std::string_view collection,
   }
   path_indexes_[{NormalizeName(collection), PathToString(path)}] =
       std::move(index);
+  ++version_;
   return Status::OK();
 }
 

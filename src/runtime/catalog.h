@@ -112,12 +112,27 @@ class Catalog {
 
   static std::string NormalizeName(std::string_view name);
 
+  /// Monotonic change counter bumped by every registration and index
+  /// build. The distributed dispatcher compares it against the version
+  /// each worker last synced to decide whether to re-ship the catalog.
+  uint64_t version() const { return version_; }
+
+  /// Iteration for catalog shipping (src/dist): normalized name →
+  /// entry, in name order (deterministic across processes).
+  const std::map<std::string, Collection, std::less<>>& collections() const {
+    return collections_;
+  }
+  const std::map<std::string, JsonFile, std::less<>>& documents() const {
+    return documents_;
+  }
+
  private:
   struct PathIndex {
     std::map<std::string, std::vector<int>> value_to_files;
     std::vector<int> empty;
   };
 
+  uint64_t version_ = 0;
   std::map<std::string, Collection, std::less<>> collections_;
   std::map<std::string, JsonFile, std::less<>> documents_;
   std::map<std::pair<std::string, std::string>, PathIndex> path_indexes_;

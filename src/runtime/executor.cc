@@ -948,10 +948,7 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
   uint64_t merge_passes = 0;
   size_t nkeys = node.keys.size();
 
-  bool can_two_step = node.two_step;
-  for (const AggSpec& a : node.aggs) {
-    if (a.kind == AggKind::kSequence) can_two_step = false;
-  }
+  bool can_two_step = GroupByUsesTwoStep(node);
 
   // ---- Optional local pre-aggregation stage -------------------------
   if (can_two_step) {
@@ -1373,6 +1370,261 @@ Result<Executor::PartitionSet> Executor::ExecSort(const PNode& node,
   }
   stats->Merge(stage);
   return output;
+}
+
+// ---------------------------------------------------------------------
+// Fragment execution API (src/dist, DESIGN.md §11). Each function is
+// the body of one in-process per-partition loop, factored so a worker
+// process can run a single partition's share of an operator.
+
+bool Executor::GroupByUsesTwoStep(const PNode& node) {
+  bool can_two_step = node.two_step;
+  for (const AggSpec& a : node.aggs) {
+    if (a.kind == AggKind::kSequence) can_two_step = false;
+  }
+  return can_two_step;
+}
+
+Result<std::vector<Tuple>> Executor::RunSubtree(const PNode& node,
+                                                ExecStats* stats) const {
+  JPAR_RETURN_NOT_OK(ValidateExecOptions(options_));
+  JPAR_ASSIGN_OR_RETURN(PartitionSet result, Exec(node, stats));
+  std::vector<Tuple> out;
+  for (std::vector<Tuple>& part : result.parts) {
+    if (out.empty()) {
+      out = std::move(part);
+    } else {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::GroupByLocal(
+    const PNode& node, const std::vector<Tuple>& input,
+    ExecStats* stats) const {
+  const bool spilling = options_.spill == SpillMode::kEnabled;
+  MemoryTracker memory(options_.memory_limit_bytes, spilling);
+  std::unique_ptr<SpillManager> spill_mgr;
+  if (spilling) {
+    JPAR_ASSIGN_OR_RETURN(spill_mgr,
+                          SpillManager::Create(options_.spill_dir, ctx_));
+  }
+  uint64_t merge_passes = 0;
+  StageStats stage;
+  stage.name = "group-by (local)";
+  auto start = Clock::now();
+  EvalContext ctx;
+  ctx.catalog = catalog_;
+  ctx.memory = &memory;
+  SpillableGroupTable table(node.aggs, AggStep::kLocal, &memory,
+                            /*track_growth=*/spilling, ctx_, spill_mgr.get(),
+                            options_.spill_fanout, memory.ShareOf(1),
+                            &merge_passes);
+  std::string encoded;
+  Tuple key_items;
+  uint64_t processed = 0;
+  std::vector<Tuple> out;
+  for (const Tuple& tuple : input) {
+    if (++processed % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("group-by build"));
+    }
+    JPAR_RETURN_NOT_OK(
+        EncodeKey(node.keys, tuple, &ctx, &encoded, &key_items));
+    JPAR_RETURN_NOT_OK(
+        table.Add(encoded, key_items, [&](size_t i) -> Result<Item> {
+          return node.aggs[i].arg->Eval(tuple, &ctx);
+        }));
+  }
+  JPAR_RETURN_NOT_OK(table.Emit(&out));
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  if (spill_mgr != nullptr) {
+    stats->spill_runs += spill_mgr->runs_created();
+    stats->spill_bytes_written += spill_mgr->bytes_written();
+    stats->spill_merge_passes += merge_passes;
+  }
+  stage.partition_ms.assign(1, ElapsedMs(start));
+  stats->Merge(stage);
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::GroupByGlobal(
+    const PNode& node, const std::vector<Tuple>& input, bool from_partials,
+    ExecStats* stats) const {
+  const bool spilling = options_.spill == SpillMode::kEnabled;
+  MemoryTracker memory(options_.memory_limit_bytes, spilling);
+  std::unique_ptr<SpillManager> spill_mgr;
+  if (spilling) {
+    JPAR_ASSIGN_OR_RETURN(spill_mgr,
+                          SpillManager::Create(options_.spill_dir, ctx_));
+  }
+  uint64_t merge_passes = 0;
+  size_t nkeys = node.keys.size();
+  std::vector<ScalarEvalPtr> exchange_keys;
+  if (from_partials) {
+    for (size_t i = 0; i < nkeys; ++i) {
+      exchange_keys.push_back(MakeColumnEval(static_cast<int>(i)));
+    }
+  } else {
+    exchange_keys = node.keys;
+  }
+
+  StageStats stage;
+  stage.name =
+      from_partials ? "group-by (global merge)" : "group-by (hash)";
+  auto start = Clock::now();
+  EvalContext ctx;
+  ctx.catalog = catalog_;
+  ctx.memory = &memory;
+  AggStep step = from_partials ? AggStep::kGlobal : AggStep::kComplete;
+  SpillableGroupTable table(node.aggs, step, &memory,
+                            /*track_growth=*/true, ctx_, spill_mgr.get(),
+                            options_.spill_fanout, memory.ShareOf(1),
+                            &merge_passes);
+  std::string encoded;
+  Tuple key_items;
+  uint64_t processed = 0;
+  std::vector<Tuple> out;
+  for (const Tuple& tuple : input) {
+    if (++processed % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("group-by build"));
+    }
+    JPAR_RETURN_NOT_OK(
+        EncodeKey(exchange_keys, tuple, &ctx, &encoded, &key_items));
+    JPAR_RETURN_NOT_OK(
+        table.Add(encoded, key_items, [&](size_t i) -> Result<Item> {
+          if (from_partials) {
+            return tuple[nkeys + i];
+          }
+          return node.aggs[i].arg->Eval(tuple, &ctx);
+        }));
+  }
+  JPAR_RETURN_NOT_OK(table.Emit(&out));
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  if (spill_mgr != nullptr) {
+    stats->spill_runs += spill_mgr->runs_created();
+    stats->spill_bytes_written += spill_mgr->bytes_written();
+    stats->spill_merge_passes += merge_passes;
+  }
+  stage.partition_ms.assign(1, ElapsedMs(start));
+  stats->Merge(stage);
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::JoinPartition(
+    const PNode& node, const std::vector<Tuple>& left,
+    const std::vector<Tuple>& right, ExecStats* stats) const {
+  MemoryTracker memory(options_.memory_limit_bytes,
+                       options_.spill == SpillMode::kEnabled);
+  StageStats stage;
+  stage.name = "hash-join";
+  auto start = Clock::now();
+  EvalContext ctx;
+  ctx.catalog = catalog_;
+  ctx.memory = &memory;
+  std::unordered_map<std::string, std::vector<size_t>> table;
+  std::string encoded;
+  for (size_t i = 0; i < right.size(); ++i) {
+    if ((i + 1) % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("join build"));
+    }
+    JPAR_RETURN_NOT_OK(
+        EncodeKey(node.right_keys, right[i], &ctx, &encoded, nullptr));
+    table[encoded].push_back(i);
+    JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
+    JPAR_RETURN_NOT_OK(
+        memory.Allocate(TupleSizeBytes(right[i]) + encoded.size()));
+  }
+  std::vector<Tuple> out;
+  uint64_t probed = 0;
+  for (const Tuple& probe : left) {
+    if (++probed % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("join probe"));
+    }
+    JPAR_RETURN_NOT_OK(
+        EncodeKey(node.left_keys, probe, &ctx, &encoded, nullptr));
+    auto it = table.find(encoded);
+    if (it == table.end()) continue;
+    for (size_t i : it->second) {
+      Tuple joined = probe;
+      joined.insert(joined.end(), right[i].begin(), right[i].end());
+      if (node.residual != nullptr) {
+        JPAR_ASSIGN_OR_RETURN(Item cond, node.residual->Eval(joined, &ctx));
+        JPAR_ASSIGN_OR_RETURN(bool keep, cond.EffectiveBooleanValue());
+        if (!keep) continue;
+      }
+      out.push_back(std::move(joined));
+    }
+  }
+  memory.Release(memory.current_bytes());
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  stage.partition_ms.assign(1, ElapsedMs(start));
+  stats->Merge(stage);
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunOps(
+    const std::vector<UnaryOpDesc>& ops, std::vector<Tuple> input,
+    ExecStats* stats) const {
+  if (ops.empty()) return input;
+  MemoryTracker memory(options_.memory_limit_bytes,
+                       options_.spill == SpillMode::kEnabled);
+  StageStats stage;
+  stage.name = "pipeline";
+  auto start = Clock::now();
+  EvalContext ctx;
+  ctx.catalog = catalog_;
+  ctx.memory = &memory;
+  std::vector<Tuple> out;
+  TupleSink sink = [&out](Tuple t) -> Status {
+    out.push_back(std::move(t));
+    return Status::OK();
+  };
+  uint64_t processed = 0;
+  for (Tuple& t : input) {
+    if (++processed % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("pipeline"));
+    }
+    JPAR_RETURN_NOT_OK(RunChain(ops, 0, std::move(t), &ctx, sink));
+  }
+  stage.pipeline_bytes += ctx.boundary_bytes;
+  if (ctx.max_tuple_bytes > stage.max_tuple_bytes) {
+    stage.max_tuple_bytes = ctx.max_tuple_bytes;
+  }
+  if (memory.peak_bytes() > stats->peak_retained_bytes) {
+    stats->peak_retained_bytes = memory.peak_bytes();
+  }
+  stage.partition_ms.assign(1, ElapsedMs(start));
+  stats->Merge(stage);
+  return out;
+}
+
+Result<std::vector<std::vector<Tuple>>> Executor::HashPartition(
+    const std::vector<Tuple>& input,
+    const std::vector<ScalarEvalPtr>& key_evals, int fanout) const {
+  if (fanout < 1) fanout = 1;
+  EvalContext ctx;
+  ctx.catalog = catalog_;
+  std::hash<std::string> hasher;
+  std::string encoded;
+  std::vector<std::vector<Tuple>> buckets(static_cast<size_t>(fanout));
+  uint64_t processed = 0;
+  for (const Tuple& tuple : input) {
+    if (++processed % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("exchange"));
+    }
+    JPAR_RETURN_NOT_OK(EncodeKey(key_evals, tuple, &ctx, &encoded, nullptr));
+    size_t dst = hasher(encoded) % static_cast<size_t>(fanout);
+    buckets[dst].push_back(tuple);
+  }
+  return buckets;
 }
 
 Status ValidateExecOptions(const ExecOptions& options) {

@@ -208,6 +208,59 @@ class Executor {
 
   Result<QueryOutput> Run(const PhysicalPlan& plan) const;
 
+  // ---- Fragment execution API (src/dist, DESIGN.md §11) -------------
+  // Entry points for a distributed worker running one slice of a plan
+  // that was split at its exchange boundaries. Each mirrors the
+  // corresponding per-partition loop of the in-process operators —
+  // same EncodeKey, same hash, same insertion and emit order — so a
+  // distributed run reassembles byte-identical results.
+
+  /// True when this group-by runs as two-step aggregation (local
+  /// pre-aggregation, exchange of partials, global merge).
+  static bool GroupByUsesTwoStep(const PNode& node);
+
+  /// Executes a whole subtree (a leaf fragment: everything below the
+  /// first exchange boundary) and returns its output partitions
+  /// concatenated in partition order. Workers run this over a sliced
+  /// catalog with options_.partitions == 1, which reproduces exactly
+  /// one in-process scan partition.
+  Result<std::vector<Tuple>> RunSubtree(const PNode& node,
+                                        ExecStats* stats) const;
+
+  /// The local half of a two-step group-by over one input partition
+  /// (AggStep::kLocal; emits key columns ++ partial aggregates).
+  Result<std::vector<Tuple>> GroupByLocal(const PNode& node,
+                                          const std::vector<Tuple>& input,
+                                          ExecStats* stats) const;
+
+  /// The global half of a group-by over one exchanged partition.
+  /// `from_partials` selects AggStep::kGlobal over two-step partials
+  /// (keys in columns [0, nkeys)) vs. AggStep::kComplete over raw
+  /// tuples keyed by node.keys.
+  Result<std::vector<Tuple>> GroupByGlobal(const PNode& node,
+                                           const std::vector<Tuple>& input,
+                                           bool from_partials,
+                                           ExecStats* stats) const;
+
+  /// One partition of the hash join over already-exchanged inputs
+  /// (build right, probe left, optional residual filter).
+  Result<std::vector<Tuple>> JoinPartition(const PNode& node,
+                                           const std::vector<Tuple>& left,
+                                           const std::vector<Tuple>& right,
+                                           ExecStats* stats) const;
+
+  /// Applies a streaming op chain to one partition of tuples.
+  Result<std::vector<Tuple>> RunOps(const std::vector<UnaryOpDesc>& ops,
+                                    std::vector<Tuple> input,
+                                    ExecStats* stats) const;
+
+  /// Routes tuples into `fanout` buckets by std::hash of their encoded
+  /// key — the exact routing of the in-process Exchange, so the union
+  /// of every worker's bucket b equals in-process partition b.
+  Result<std::vector<std::vector<Tuple>>> HashPartition(
+      const std::vector<Tuple>& input,
+      const std::vector<ScalarEvalPtr>& key_evals, int fanout) const;
+
  private:
   struct PartitionSet {
     std::vector<std::vector<Tuple>> parts;

@@ -122,6 +122,9 @@ class QueryContext {
                      std::chrono::duration<double, std::milli>(ms)));
   }
   bool has_deadline() const { return has_deadline_; }
+  /// Meaningful only when has_deadline(); the distributed dispatcher
+  /// reads it to ship each fragment the remaining time budget.
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
 
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
   FaultInjector* fault_injector() const { return faults_; }

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <random>
 #include <system_error>
 #include <utility>
 
@@ -17,6 +18,24 @@ constexpr size_t kReadChunkBytes = 256 * 1024;
 /// Process-wide counter so concurrent queries (worker pool) never
 /// collide on run file names.
 std::atomic<uint64_t> g_run_counter{0};
+
+/// Process-unique random token baked into every run file name. The PID
+/// alone is not collision-proof when worker processes share a spill_dir:
+/// a respawned worker can be handed the PID of a predecessor whose
+/// files are still being consumed (or were leaked by a crash). The
+/// token makes names unique per process *instance*; each manager still
+/// sweeps only the files it created (live_files_).
+const std::string& ProcessSpillToken() {
+  static const std::string token = [] {
+    std::random_device rd;
+    uint64_t bits = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return std::string(buf);
+  }();
+  return token;
+}
 
 }  // namespace
 
@@ -83,6 +102,7 @@ Result<std::unique_ptr<SpillRunWriter>> SpillManager::NewRun() {
   JPAR_RETURN_NOT_OK(Fault());
   std::string path =
       dir_ + "/jpar-spill-" + std::to_string(::getpid()) + "-" +
+      ProcessSpillToken() + "-" +
       std::to_string(g_run_counter.fetch_add(1)) + ".run";
   std::unique_ptr<SpillRunWriter> writer(new SpillRunWriter(this, path));
   writer->out_.open(path, std::ios::binary | std::ios::trunc);

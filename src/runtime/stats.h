@@ -83,7 +83,35 @@ struct ExecStats {
   /// hash-collision-heavy buckets.
   uint64_t spill_merge_passes = 0;
 
+  /// Distributed execution (src/dist, DESIGN.md §11); all 0 for
+  /// single-process runs.
+  uint64_t dist_workers = 0;  // worker processes that ran fragments
+  uint64_t dist_rounds = 0;   // fragment rounds (stages) dispatched
+  uint64_t dist_frames = 0;   // data frames routed through the dispatcher
+  uint64_t dist_bytes = 0;    // payload bytes of those frames
+
   void Merge(const StageStats& stage) { stages.push_back(stage); }
+
+  /// Folds a worker-side fragment's stats into this (dispatcher-side)
+  /// aggregate: stages are appended, counters summed, peaks maxed.
+  /// Timing aggregates (real_ms/makespan_ms) are left to the caller —
+  /// in a distributed run they are genuine wall-clock, not sums.
+  void MergeFrom(const ExecStats& other) {
+    for (const StageStats& s : other.stages) stages.push_back(s);
+    network_ms += other.network_ms;
+    bytes_scanned += other.bytes_scanned;
+    items_scanned += other.items_scanned;
+    if (other.peak_retained_bytes > peak_retained_bytes) {
+      peak_retained_bytes = other.peak_retained_bytes;
+    }
+    skipped_records += other.skipped_records;
+    morsels_scanned += other.morsels_scanned;
+    spill_runs += other.spill_runs;
+    spill_bytes_written += other.spill_bytes_written;
+    spill_merge_passes += other.spill_merge_passes;
+    dist_frames += other.dist_frames;
+    dist_bytes += other.dist_bytes;
+  }
 };
 
 }  // namespace jpar

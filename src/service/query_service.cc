@@ -63,11 +63,13 @@ QueryService::QueryService(ServiceOptions options)
       engine_(options_.engine),
       plan_cache_(options_.plan_cache_capacity),
       admission_(options_.memory_budget_bytes, options_.max_queue_depth),
+      cluster_(options_.dist.enabled() ? new Cluster(options_.dist) : nullptr),
       pool_(options_.worker_threads) {}
 
 QueryService::~QueryService() {
   Drain();
   pool_.Shutdown();
+  if (cluster_) cluster_->Stop();
 }
 
 std::shared_ptr<Session> QueryService::CreateSession() {
@@ -233,7 +235,15 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
       }
 
       if (st.ok()) {
-        Result<QueryOutput> result = engine_.Execute(*plan, opts.exec, &ctx);
+        Result<QueryOutput> result = Status::Internal("unreachable");
+        if (cluster_ && Cluster::CanDistribute(plan->physical)) {
+          ++distributed_;
+          result = cluster_->Run(query, opts.rules, opts.exec, *plan,
+                                 *engine_.catalog(), &ctx);
+        } else {
+          if (cluster_) ++dist_fallbacks_;
+          result = engine_.Execute(*plan, opts.exec, &ctx);
+        }
         if (result.ok()) {
           output = *std::move(result);
         } else {
@@ -272,6 +282,8 @@ ServiceMetrics QueryService::Metrics() const {
   m.failed = failed_.load();
   m.cancelled = cancelled_.load();
   m.deadline_exceeded = deadline_exceeded_.load();
+  m.distributed = distributed_.load();
+  m.dist_fallbacks = dist_fallbacks_.load();
   return m;
 }
 
@@ -292,6 +304,8 @@ std::string ServiceMetrics::ToString() const {
   line("deadline exceeded", deadline_exceeded);
   line("rejected", rejected);
   line("sessions", sessions);
+  line("distributed", distributed);
+  line("distributed fallbacks", dist_fallbacks);
   out += "plan cache:\n";
   line("hits", plan_cache.hits);
   line("misses", plan_cache.misses);

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "core/engine.h"
+#include "dist/dispatcher.h"
 #include "runtime/query_context.h"
 #include "service/admission.h"
 #include "service/plan_cache.h"
@@ -55,6 +56,12 @@ struct ServiceOptions {
   /// default) injects nothing — used by the fault-injection tests and
   /// bench_fault_recovery.
   FaultInjector* fault_injector = nullptr;
+  /// Distributed execution (DESIGN.md §11). When enabled, queries
+  /// whose plan shape supports it run across the worker cluster; the
+  /// rest fall back to in-process execution (counted as
+  /// dist_fallbacks). Worker failures surface to the client as
+  /// kWorkerLost — the service does not silently retry in-process.
+  DistOptions dist;
 };
 
 /// Per-submission knobs (Session::Submit's second argument).
@@ -164,6 +171,9 @@ struct ServiceMetrics {
   // Failure breakdown (both are included in `failed`).
   uint64_t cancelled = 0;          // ended with kCancelled
   uint64_t deadline_exceeded = 0;  // ended with kDeadlineExceeded
+  // Distributed execution (zero unless ServiceOptions::dist enabled).
+  uint64_t distributed = 0;      // ran on the worker cluster
+  uint64_t dist_fallbacks = 0;   // plan shape forced in-process
 
   /// Multi-line human-readable dump (used by bench_service_throughput).
   std::string ToString() const;
@@ -231,6 +241,13 @@ class QueryService {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> distributed_{0};
+  std::atomic<uint64_t> dist_fallbacks_{0};
+
+  /// Non-null iff options_.dist.enabled(). Declared before pool_ so
+  /// worker threads (which call into it) stop before it is destroyed;
+  /// ~QueryService additionally calls Stop() after the pool shutdown.
+  std::unique_ptr<Cluster> cluster_;
 
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;

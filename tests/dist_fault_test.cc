@@ -1,0 +1,245 @@
+// Failure handling of the distributed runtime: injected exchange
+// faults, killed worker processes, cancellation and deadlines crossing
+// process boundaries, admission-slot hygiene, and process cleanup.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/sensor_generator.h"
+#include "dist/dispatcher.h"
+#include "service/query_service.h"
+
+#ifndef JPAR_WORKER_BIN_PATH
+#error "build must define JPAR_WORKER_BIN_PATH (see tests/CMakeLists.txt)"
+#endif
+
+namespace jpar {
+namespace {
+
+constexpr const char* kQ1 = R"(
+  for $r in collection("/sensors")("root")()("results")()
+  where $r("dataType") eq "TMIN"
+  group by $date := $r("date")
+  return count($r("station")))";
+
+Collection MakeData() {
+  SensorDataSpec spec;
+  spec.num_files = 4;
+  spec.records_per_file = 8;
+  spec.measurements_per_array = 16;
+  spec.num_stations = 6;
+  spec.seed = 7;
+  return GenerateSensorCollection(spec);
+}
+
+DistOptions MakeDist(int workers) {
+  DistOptions dist;
+  dist.local_workers = workers;
+  dist.worker_binary = JPAR_WORKER_BIN_PATH;
+  // Tight failure detection keeps the negative tests fast.
+  dist.heartbeat_ms = 200;
+  dist.worker_timeout_ms = 3000;
+  dist.drain_timeout_ms = 1000;
+  return dist;
+}
+
+/// jpar_worker children of this test process, zombies included — an
+/// unreaped child is a leak (scans /proc).
+std::vector<pid_t> ChildWorkerPids() {
+  std::vector<pid_t> pids;
+  DIR* proc = opendir("/proc");
+  if (proc == nullptr) return pids;
+  while (dirent* entry = readdir(proc)) {
+    pid_t pid = static_cast<pid_t>(std::atol(entry->d_name));
+    if (pid <= 0) continue;
+    char path[64];
+    std::snprintf(path, sizeof(path), "/proc/%d/stat", pid);
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) continue;
+    char comm[64] = {0};
+    char state = 0;
+    int ppid = 0;
+    int n = std::fscanf(f, "%*d (%63[^)]) %c %d", comm, &state, &ppid);
+    std::fclose(f);
+    (void)state;
+    if (n == 3 && ppid == getpid() &&
+        std::strcmp(comm, "jpar_worker") == 0) {
+      pids.push_back(pid);
+    }
+  }
+  closedir(proc);
+  return pids;
+}
+
+class DistFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.rules = RuleOptions::All();
+    options_.exec.partitions = 2;
+    engine_ = std::make_unique<Engine>(options_);
+    engine_->catalog()->RegisterCollection("/sensors", MakeData());
+    auto compiled = engine_->Compile(kQ1, options_.rules);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    compiled_ = std::make_unique<CompiledQuery>(*std::move(compiled));
+  }
+
+  Result<QueryOutput> Run(Cluster* cluster, QueryContext* ctx) {
+    return cluster->Run(kQ1, options_.rules, options_.exec, *compiled_,
+                        *engine_->catalog(), ctx);
+  }
+
+  EngineOptions options_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<CompiledQuery> compiled_;
+};
+
+TEST_F(DistFaultTest, DroppedExchangeFrameYieldsWorkerLost) {
+  Cluster cluster(MakeDist(2));
+  FaultInjector faults;
+  faults.ArmAfter(FaultInjector::kExchangeFrameDrop, 1,
+                  Status::IOError("injected frame drop"));
+  QueryContext ctx;
+  ctx.set_fault_injector(&faults);
+
+  auto out = Run(&cluster, &ctx);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kWorkerLost)
+      << out.status().ToString();
+  EXPECT_GE(faults.injected_count(FaultInjector::kExchangeFrameDrop), 1u);
+
+  // The fault is one-shot: the next query respawns the dropped worker
+  // and succeeds.
+  auto retry = Run(&cluster, nullptr);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->stats.dist_workers, 2u);
+  cluster.Stop();
+}
+
+TEST_F(DistFaultTest, KilledWorkerYieldsWorkerLostThenRespawns) {
+  Cluster cluster(MakeDist(2));
+  // Warm the cluster so the worker processes exist.
+  auto warm = Run(&cluster, nullptr);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  std::vector<pid_t> workers = ChildWorkerPids();
+  ASSERT_EQ(workers.size(), 2u);
+
+  // Stall the dispatcher long enough to SIGKILL a worker mid-query.
+  FaultInjector faults;
+  faults.ArmStall(FaultInjector::kWorkerStall, 400);
+  QueryContext ctx;
+  ctx.set_fault_injector(&faults);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    kill(workers[0], SIGKILL);
+  });
+  auto out = Run(&cluster, &ctx);
+  killer.join();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kWorkerLost)
+      << out.status().ToString();
+
+  // The dead rank is respawned on the next query.
+  auto retry = Run(&cluster, nullptr);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->stats.dist_workers, 2u);
+  cluster.Stop();
+}
+
+TEST_F(DistFaultTest, CancellationCrossesProcessBoundary) {
+  Cluster cluster(MakeDist(2));
+  FaultInjector faults;
+  faults.ArmStall(FaultInjector::kWorkerStall, 500);
+  auto token = std::make_shared<CancellationToken>();
+  QueryContext ctx;
+  ctx.set_cancellation(token);
+  ctx.set_fault_injector(&faults);
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    token->Cancel();
+  });
+  auto out = Run(&cluster, &ctx);
+  canceller.join();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled)
+      << out.status().ToString();
+
+  // Workers acknowledged the cancel and are reusable.
+  auto retry = Run(&cluster, nullptr);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  cluster.Stop();
+}
+
+TEST_F(DistFaultTest, DeadlineCrossesProcessBoundary) {
+  Cluster cluster(MakeDist(2));
+  FaultInjector faults;
+  faults.ArmStall(FaultInjector::kWorkerStall, 500);
+  QueryContext ctx;
+  ctx.set_deadline_after_ms(100);
+  ctx.set_fault_injector(&faults);
+
+  auto out = Run(&cluster, &ctx);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded)
+      << out.status().ToString();
+
+  auto retry = Run(&cluster, nullptr);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  cluster.Stop();
+}
+
+TEST_F(DistFaultTest, ServiceReleasesAdmissionOnWorkerLoss) {
+  FaultInjector faults;
+  ServiceOptions options;
+  options.engine = options_;
+  options.dist = MakeDist(2);
+  options.memory_budget_bytes = 64ull << 20;
+  options.fault_injector = &faults;
+  QueryService service(options);
+  service.catalog()->RegisterCollection("/sensors", MakeData());
+  auto session = service.CreateSession();
+
+  faults.ArmAfter(FaultInjector::kExchangeFrameDrop, 1,
+                  Status::IOError("injected frame drop"));
+  QueryTicket failed = session->Submit(kQ1);
+  EXPECT_EQ(failed.status().code(), StatusCode::kWorkerLost)
+      << failed.status().ToString();
+
+  // The failed query released its queue slot and memory reservation,
+  // and the cluster recovered for the next submission.
+  service.Drain();
+  EXPECT_EQ(service.Metrics().admission.reserved_bytes, 0u);
+  QueryTicket ok = session->Submit(kQ1);
+  EXPECT_TRUE(ok.status().ok()) << ok.status().ToString();
+  service.Drain();
+  EXPECT_EQ(service.Metrics().admission.reserved_bytes, 0u);
+}
+
+TEST_F(DistFaultTest, StopReapsEveryWorkerProcess) {
+  {
+    Cluster cluster(MakeDist(3));
+    auto out = Run(&cluster, nullptr);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(ChildWorkerPids().size(), 3u);
+    cluster.Stop();
+  }
+  // Stop() must leave neither live children nor zombies.
+  for (int i = 0; i < 50 && !ChildWorkerPids().empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(ChildWorkerPids().empty());
+}
+
+}  // namespace
+}  // namespace jpar

@@ -1,0 +1,434 @@
+// Wire layer of the distributed runtime (src/dist): payload codecs,
+// message framing over a real socketpair, corrupt-input rejection,
+// credit-window semantics, and the deterministic plan splitter.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/sensor_generator.h"
+#include "dist/exchange.h"
+#include "dist/fragment.h"
+#include "dist/protocol.h"
+#include "dist/wire.h"
+
+namespace jpar {
+namespace {
+
+// ---------------------------------------------------------------------
+// Payload primitives
+
+TEST(PayloadTest, VarintRoundTrip) {
+  std::string buf;
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 32,
+                     ~0ull}) {
+    PutVarint(v, &buf);
+  }
+  PayloadReader reader(buf);
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 32,
+                     ~0ull}) {
+    auto got = reader.Varint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(PayloadTest, SignedAndDoubleAndBytesRoundTrip) {
+  std::string buf;
+  PutVarintSigned(-12345, &buf);
+  PutDouble(3.25, &buf);
+  PutBytes("hello \0 world", &buf);
+  PayloadReader reader(buf);
+  auto i = reader.VarintSigned();
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, -12345);
+  auto d = reader.Double();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 3.25);
+  auto s = reader.String();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, std::string("hello "));  // \0 truncates the literal
+}
+
+TEST(PayloadTest, TruncationRejected) {
+  std::string buf;
+  PutBytes("some payload bytes", &buf);
+  // Every strict prefix must fail cleanly, never read out of bounds.
+  for (size_t len = 0; len < buf.size(); ++len) {
+    PayloadReader reader(std::string_view(buf.data(), len));
+    auto got = reader.Bytes();
+    EXPECT_FALSE(got.ok()) << "prefix of length " << len;
+    if (!got.ok()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Typed payloads
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.pid = 4242;
+  auto got = DecodeHello(EncodeHello(msg));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->version, kProtocolVersion);
+  EXPECT_EQ(got->pid, 4242);
+}
+
+TEST(ProtocolTest, FragmentRequestRoundTrip) {
+  FragmentRequest req;
+  req.query = "for $r in collection(\"/x\") return $r";
+  req.rules = RuleOptions::None();
+  req.rules.path_rules = true;
+  req.exec.partitions = 7;
+  req.exec.frame_bytes = 4096;
+  req.exec.use_threads = true;
+  req.exec.memory_limit_bytes = 123456;
+  req.exec.spill = SpillMode::kEnabled;
+  req.exec.deadline_ms = 1500;
+  req.stage_id = 2;
+  req.worker_id = 3;
+  req.worker_count = 4;
+  req.fanout = 4;
+  req.num_inputs = 2;
+  req.deadline_remaining_ms = 987.5;
+  req.credit_window = 16;
+
+  auto got = DecodeFragmentRequest(EncodeFragmentRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->query, req.query);
+  EXPECT_EQ(got->stage_id, 2);
+  EXPECT_EQ(got->worker_id, 3);
+  EXPECT_EQ(got->worker_count, 4);
+  EXPECT_EQ(got->fanout, 4);
+  EXPECT_EQ(got->num_inputs, 2);
+  EXPECT_EQ(got->deadline_remaining_ms, 987.5);
+  EXPECT_EQ(got->credit_window, 16u);
+  EXPECT_EQ(got->exec.partitions, 7);
+  EXPECT_EQ(got->exec.frame_bytes, 4096u);
+  EXPECT_TRUE(got->exec.use_threads);
+  EXPECT_EQ(got->exec.memory_limit_bytes, 123456u);
+  EXPECT_EQ(got->exec.spill, SpillMode::kEnabled);
+  EXPECT_EQ(got->exec.deadline_ms, 1500);
+  // Rules round-trip exactly: compare the canonical encodings.
+  std::string a, b;
+  EncodeRuleOptions(req.rules, &a);
+  EncodeRuleOptions(got->rules, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ProtocolTest, OutputEofRoundTrip) {
+  OutputEofMsg msg;
+  msg.code = StatusCode::kDeadlineExceeded;
+  msg.message = "deadline exceeded during SCAN";
+  msg.stats.bytes_scanned = 1111;
+  msg.stats.items_scanned = 22;
+  msg.stats.result_rows = 3;
+  auto got = DecodeOutputEof(EncodeOutputEof(msg));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(got->message, msg.message);
+  EXPECT_EQ(got->stats.bytes_scanned, 1111u);
+  EXPECT_EQ(got->stats.items_scanned, 22u);
+  EXPECT_EQ(got->stats.result_rows, 3u);
+}
+
+TEST(ProtocolTest, CancelAndCreditRoundTrip) {
+  CancelMsg cancel;
+  cancel.code = StatusCode::kCancelled;
+  cancel.message = "client gave up";
+  auto got = DecodeCancel(EncodeCancel(cancel));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->code, StatusCode::kCancelled);
+  EXPECT_EQ(got->message, "client gave up");
+
+  auto credit = DecodeCredit(EncodeCredit(17));
+  ASSERT_TRUE(credit.ok());
+  EXPECT_EQ(*credit, 17u);
+
+  auto ack = DecodeSyncAck(EncodeSyncAck(99));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(*ack, 99u);
+}
+
+TEST(ProtocolTest, StatusFromCodeCoversEveryCode) {
+  EXPECT_TRUE(StatusFromCode(StatusCode::kOk, "").ok());
+  for (int c = 1; c < kStatusCodeCount; ++c) {
+    StatusCode code = static_cast<StatusCode>(c);
+    Status st = StatusFromCode(code, "wire message");
+    EXPECT_EQ(st.code(), code) << c;
+    EXPECT_EQ(st.message(), "wire message") << c;
+  }
+}
+
+TEST(ProtocolTest, CatalogSyncRoundTrip) {
+  SensorDataSpec spec;
+  spec.num_files = 2;
+  spec.records_per_file = 4;
+  spec.measurements_per_array = 6;
+  spec.seed = 11;
+
+  Engine source;
+  source.catalog()->RegisterCollection("/sensors",
+                                       GenerateSensorCollection(spec));
+  std::string payload = EncodeCatalogSync(*source.catalog());
+
+  Engine replica;
+  uint64_t version = 0;
+  Status st = DecodeCatalogSyncInto(payload, replica.catalog(), &version);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(version, source.catalog()->version());
+
+  const char* count_query = R"(
+    count(collection("/sensors")("root")()("results")()))";
+  auto a = source.Run(count_query);
+  auto b = replica.Run(count_query);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->items.size(), 1u);
+  ASSERT_EQ(b->items.size(), 1u);
+  EXPECT_EQ(a->items[0].int64_value(), b->items[0].int64_value());
+  EXPECT_GT(a->items[0].int64_value(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Framing over a real socketpair
+
+TEST(WireTest, MessageRoundTripOverSocketpair) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  Socket a = std::move(pair->first);
+  Socket b = std::move(pair->second);
+
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 100; ++i) {
+    tuples.push_back({Item::Int64(i), Item::String("row-" +
+                                                   std::to_string(i))});
+  }
+  std::vector<FrameMsg> frames = TuplesToFrames(tuples, 3, 256);
+  ASSERT_GT(frames.size(), 1u);  // small frame target => several frames
+
+  for (const FrameMsg& f : frames) {
+    ASSERT_TRUE(WriteMessage(&a, static_cast<uint8_t>(MsgType::kInputFrame),
+                             EncodeFrameMsg(f))
+                    .ok());
+  }
+  a.Close();  // clean EOF after the last message
+
+  std::vector<Tuple> got;
+  WireMessage msg;
+  while (true) {
+    auto more = ReadMessage(&b, &msg);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ASSERT_EQ(msg.type, static_cast<uint8_t>(MsgType::kInputFrame));
+    auto frame = DecodeFrameMsg(msg.payload);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->channel, 3u);
+    ASSERT_TRUE(AppendFrameTuples(*frame, &got).ok());
+  }
+  ASSERT_EQ(got.size(), tuples.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].size(), 2u);
+    EXPECT_EQ(got[i][0].int64_value(), tuples[i][0].int64_value());
+    EXPECT_EQ(got[i][1].string_value(), tuples[i][1].string_value());
+  }
+}
+
+TEST(WireTest, CorruptMagicRejected) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok());
+  const char garbage[] = "XXXXYYYYZZZZ";
+  ASSERT_TRUE(pair->first.SendAll(garbage, sizeof(garbage)).ok());
+  WireMessage msg;
+  auto got = ReadMessage(&pair->second, &msg);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireTest, OversizedLengthRejected) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok());
+  // Valid magic and type, but a payload length beyond the cap.
+  std::string header;
+  uint32_t magic = kWireMagic;
+  header.append(reinterpret_cast<const char*>(&magic), 4);
+  header.push_back(static_cast<char>(MsgType::kPing));
+  uint32_t len = kMaxWirePayload + 1;
+  header.append(reinterpret_cast<const char*>(&len), 4);
+  ASSERT_TRUE(pair->first.SendAll(header.data(), header.size()).ok());
+  WireMessage msg;
+  auto got = ReadMessage(&pair->second, &msg);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireTest, TruncatedPayloadRejected) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok());
+  // Header promises 64 payload bytes; only 10 arrive before EOF.
+  std::string partial;
+  uint32_t magic = kWireMagic;
+  partial.append(reinterpret_cast<const char*>(&magic), 4);
+  partial.push_back(static_cast<char>(MsgType::kInputFrame));
+  uint32_t len = 64;
+  partial.append(reinterpret_cast<const char*>(&len), 4);
+  partial.append(10, 'x');
+  ASSERT_TRUE(pair->first.SendAll(partial.data(), partial.size()).ok());
+  pair->first.Close();
+  WireMessage msg;
+  auto got = ReadMessage(&pair->second, &msg);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireTest, CleanEofReturnsFalse) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok());
+  pair->first.Close();
+  WireMessage msg;
+  auto got = ReadMessage(&pair->second, &msg);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(*got);
+}
+
+TEST(WireTest, TupleCountMismatchRejected) {
+  std::vector<Tuple> tuples = {{Item::Int64(1)}, {Item::Int64(2)}};
+  std::vector<FrameMsg> frames = TuplesToFrames(tuples, 0, 1 << 16);
+  ASSERT_EQ(frames.size(), 1u);
+  frames[0].tuple_count += 1;  // header lies about the tuple count
+  std::vector<Tuple> out;
+  Status st = AppendFrameTuples(frames[0], &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------
+// Credit window
+
+TEST(CreditWindowTest, AcquireGrantTimeout) {
+  CreditWindow window;
+  window.Reset(1);
+  EXPECT_TRUE(window.Acquire(0).ok() || window.Acquire(-1).ok());
+  // Empty window: a bounded wait times out with kUnavailable.
+  Status st = window.Acquire(30);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  window.Grant(1);
+  EXPECT_TRUE(window.Acquire(30).ok());
+}
+
+TEST(CreditWindowTest, PoisonWakesBlockedSender) {
+  CreditWindow window;
+  window.Reset(0);
+  Status observed;
+  std::thread sender([&] { observed = window.Acquire(-1); });
+  // Give the sender time to block, then poison.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  window.Poison(Status::WorkerLost("worker 1 died"));
+  sender.join();
+  ASSERT_FALSE(observed.ok());
+  EXPECT_EQ(observed.code(), StatusCode::kWorkerLost);
+
+  // Poison latches for future acquires...
+  EXPECT_EQ(window.Acquire(0).code(), StatusCode::kWorkerLost);
+  // ...until the next Reset re-arms the window.
+  window.Reset(1);
+  EXPECT_TRUE(window.Acquire(0).ok());
+}
+
+// ---------------------------------------------------------------------
+// Plan splitter
+
+class SplitTest : public ::testing::Test {
+ protected:
+  static Result<StagePlan> Split(const std::string& query) {
+    Engine engine;
+    auto compiled = engine.Compile(query, RuleOptions::All());
+    if (!compiled.ok()) return compiled.status();
+    // The split references plan nodes; keep the plan alive via a
+    // static cache for the duration of the assertion-only tests.
+    static std::vector<CompiledQuery>* plans =
+        new std::vector<CompiledQuery>();
+    plans->push_back(*std::move(compiled));
+    return SplitPlanForDistribution(plans->back().physical);
+  }
+};
+
+TEST_F(SplitTest, PurePipelineIsOneGatherStage) {
+  auto split = Split(R"(
+    for $r in collection("/sensors")("root")()("results")()
+    where $r("dataType") eq "TMIN"
+    return $r("value"))");
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split->stages.size(), 1u);
+  EXPECT_EQ(split->stages[0].core, FragmentStage::Core::kLeaf);
+  EXPECT_FALSE(split->stages[0].shuffled);
+  EXPECT_TRUE(split->stages[0].inputs.empty());
+}
+
+TEST_F(SplitTest, GroupByBecomesTwoStagesWithTwoStepShuffle) {
+  auto split = Split(R"(
+    for $r in collection("/sensors")("root")()("results")()
+    where $r("dataType") eq "TMIN"
+    group by $date := $r("date")
+    return count($r("station")))");
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split->stages.size(), 2u);
+  const FragmentStage& leaf = split->stages[0];
+  const FragmentStage& merge = split->stages[1];
+  EXPECT_EQ(leaf.core, FragmentStage::Core::kLeaf);
+  EXPECT_TRUE(leaf.shuffled);
+  // RuleOptions::All() enables two-step aggregation for count().
+  EXPECT_NE(leaf.local_groupby, nullptr);
+  EXPECT_EQ(merge.core, FragmentStage::Core::kGroupByMerge);
+  EXPECT_TRUE(merge.from_partials);
+  EXPECT_FALSE(merge.shuffled);
+  ASSERT_EQ(merge.inputs.size(), 1u);
+  EXPECT_EQ(merge.inputs[0], leaf.id);
+}
+
+TEST_F(SplitTest, JoinFansInTwoShuffledProducers) {
+  auto split = Split(R"(
+    avg(
+      for $a in collection("/s")("root")()("results")()
+      for $b in collection("/s")("root")()("results")()
+      where $a("station") eq $b("station")
+        and $a("dataType") eq "TMIN"
+        and $b("dataType") eq "TMAX"
+      return $b("value") - $a("value")
+    ) div 10)");
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  const FragmentStage* join = nullptr;
+  for (const FragmentStage& stage : split->stages) {
+    if (stage.core == FragmentStage::Core::kJoin) join = &stage;
+  }
+  ASSERT_NE(join, nullptr);
+  ASSERT_EQ(join->inputs.size(), 2u);
+  EXPECT_TRUE(split->stages[join->inputs[0]].shuffled);
+  EXPECT_TRUE(split->stages[join->inputs[1]].shuffled);
+  EXPECT_FALSE(split->stages.back().shuffled);  // final stage gathers
+}
+
+TEST_F(SplitTest, UnsupportedShapesFallBack) {
+  // No collection scan at the leaf (EMPTY-TUPLE-SOURCE).
+  auto constant = Split("1 + 1");
+  ASSERT_FALSE(constant.ok());
+  EXPECT_EQ(constant.status().code(), StatusCode::kUnsupported);
+
+  // Sorts are not distributed.
+  auto sorted = Split(R"(
+    for $r in collection("/s")("root")()("results")()
+    order by $r("date")
+    return $r)");
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_EQ(sorted.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace jpar
