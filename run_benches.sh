@@ -36,4 +36,6 @@ done
   echo "scan throughput record: BENCH_scan_throughput.json"
 [ -f BENCH_dist_cluster.json ] && \
   echo "distributed cluster record: BENCH_dist_cluster.json"
+[ -f BENCH_dist_recovery.json ] && \
+  echo "distributed recovery record: BENCH_dist_recovery.json"
 exit 0

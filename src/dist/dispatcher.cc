@@ -35,6 +35,31 @@ Status SendTo(std::mutex* mu, Socket* sock, MsgType type,
 
 }  // namespace
 
+Status ValidateDistOptions(const DistOptions& options) {
+  if (options.credit_window < 1) {
+    return Status::InvalidArgument("DistOptions::credit_window must be >= 1");
+  }
+  if (options.heartbeat_ms <= 0) {
+    return Status::InvalidArgument("DistOptions::heartbeat_ms must be > 0");
+  }
+  if (options.worker_timeout_ms <= 0) {
+    return Status::InvalidArgument(
+        "DistOptions::worker_timeout_ms must be > 0");
+  }
+  if (options.drain_timeout_ms <= 0) {
+    return Status::InvalidArgument("DistOptions::drain_timeout_ms must be > 0");
+  }
+  if (options.max_fragment_retries < 0) {
+    return Status::InvalidArgument(
+        "DistOptions::max_fragment_retries must be >= 0");
+  }
+  if (options.retry_backoff_ms <= 0) {
+    return Status::InvalidArgument(
+        "DistOptions::retry_backoff_ms must be > 0");
+  }
+  return Status::OK();
+}
+
 Cluster::~Cluster() { Stop(); }
 
 bool Cluster::CanDistribute(const PhysicalPlan& plan) {
@@ -73,6 +98,7 @@ void Cluster::Stop() {
 
 Status Cluster::EnsureWorkers() {
   if (stopped_) return Status::Internal("cluster already stopped");
+  JPAR_RETURN_NOT_OK(ValidateDistOptions(options_));
   const int total = worker_count();
   if (total <= 0) {
     return Status::InvalidArgument(
@@ -313,7 +339,11 @@ void Cluster::ReaderLoop(Worker* worker) {
           worker->death.ToString());
       round_.done[static_cast<size_t>(worker->rank)] = true;
       round_.status[static_cast<size_t>(worker->rank)] = lost;
-      if (round_.failure.ok()) round_.failure = lost;
+      // A retry-eligible loss does not fail the round: healthy ranks
+      // run to completion and only this rank is re-dispatched.
+      if (!round_.retry_worker_lost && round_.failure.ok()) {
+        round_.failure = lost;
+      }
       ++round_.done_count;
     }
     // Under mu_ for the same reason as in OnOutputEof: the poison must
@@ -395,6 +425,14 @@ void Cluster::OnOutputEof(Worker* worker, OutputEofMsg eof) {
   }
 }
 
+void Cluster::FailRound(const Status& why) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (round_.active && round_.failure.ok()) {
+    round_.failure = why;
+    cv_.notify_all();
+  }
+}
+
 void Cluster::CancelRound(const Status& why) {
   std::vector<Worker*> targets;
   {
@@ -416,13 +454,11 @@ void Cluster::CancelRound(const Status& why) {
   }
 }
 
-void Cluster::SenderLoop(
-    Worker* worker, const std::string& query, const RuleOptions& rules,
-    const ExecOptions& exec, const FragmentStage& stage, int fanout,
-    double deadline_remaining_ms,
-    const std::vector<std::vector<std::vector<std::vector<FrameMsg>>>>&
-        stage_out,
-    QueryContext* ctx) {
+void Cluster::SenderLoop(Worker* worker, const std::string& query,
+                         const RuleOptions& rules, const ExecOptions& exec,
+                         const FragmentStage& stage, int fanout,
+                         double deadline_remaining_ms, ReplaySpool* spool,
+                         bool replay, QueryContext* ctx) {
   const int W = worker_count();
   auto abort_with = [&](const Status& why) { DropWorker(worker, why); };
 
@@ -457,12 +493,24 @@ void Cluster::SenderLoop(
   }
 
   for (size_t slot = 0; slot < stage.inputs.size(); ++slot) {
-    const auto& producer_out =
-        stage_out[static_cast<size_t>(stage.inputs[slot])];
     for (int src = 0; src < W; ++src) {
-      for (const FrameMsg& frame :
-           producer_out[static_cast<size_t>(src)]
-                       [static_cast<size_t>(worker->rank)]) {
+      Result<ReplaySpool::Cursor> cursor =
+          spool->Open(stage.inputs[slot], src, worker->rank);
+      if (!cursor.ok()) {
+        // A replay-buffer fault is the dispatcher's problem, not this
+        // worker's — fail the round instead of declaring a loss that
+        // a retry could never fix.
+        FailRound(cursor.status());
+        return;
+      }
+      while (true) {
+        FrameMsg frame;
+        Result<bool> have = cursor->Next(&frame);
+        if (!have.ok()) {
+          FailRound(have.status());
+          return;
+        }
+        if (!*have) break;
         if (ctx != nullptr) {
           Status fault = ctx->Fault(FaultInjector::kExchangeFrameDrop);
           if (!fault.ok()) {
@@ -488,10 +536,11 @@ void Cluster::SenderLoop(
             return;  // the main loop broadcasts the cancel
           }
         }
+        const uint64_t payload_bytes = frame.bytes.size();
         FrameMsg forward;
         forward.channel = static_cast<uint32_t>(slot);
         forward.tuple_count = frame.tuple_count;
-        forward.bytes = frame.bytes;
+        forward.bytes = std::move(frame.bytes);
         st = SendTo(&worker->send_mu, &worker->sock, MsgType::kInputFrame,
                     EncodeFrameMsg(forward));
         if (!st.ok()) {
@@ -500,7 +549,8 @@ void Cluster::SenderLoop(
         }
         std::lock_guard<std::mutex> lock(mu_);
         round_.frames += 1;
-        round_.bytes += frame.bytes.size();
+        round_.bytes += payload_bytes;
+        if (replay) round_.replayed += 1;
       }
     }
     st = SendTo(&worker->send_mu, &worker->sock, MsgType::kInputEof,
@@ -515,16 +565,19 @@ void Cluster::SenderLoop(
 Status Cluster::RunRound(
     const std::string& query, const RuleOptions& rules,
     const ExecOptions& exec, const FragmentStage& stage, int fanout,
-    const std::vector<std::vector<std::vector<std::vector<FrameMsg>>>>&
-        stage_out,
-    QueryContext* ctx, ExecStats* stats,
-    std::vector<std::vector<std::vector<FrameMsg>>>* round_out) {
+    ReplaySpool* spool, const std::vector<int>& ranks, bool retry_allowed,
+    bool replay, QueryContext* ctx, ExecStats* stats,
+    std::vector<std::vector<std::vector<FrameMsg>>>* accum,
+    std::vector<int>* lost) {
   const int W = worker_count();
   double deadline_remaining_ms = 0;
   if (ctx != nullptr && ctx->has_deadline()) {
     deadline_remaining_ms = RemainingMs(ctx);
     if (deadline_remaining_ms <= 0) return ctx->Check("dispatch");
   }
+
+  std::vector<bool> participating(static_cast<size_t>(W), false);
+  for (int rank : ranks) participating[static_cast<size_t>(rank)] = true;
 
   std::vector<Worker*> participants;
   {
@@ -533,6 +586,7 @@ Status Cluster::RunRound(
     round_.active = true;
     round_.fanout = fanout;
     round_.ctx = ctx;
+    round_.retry_worker_lost = retry_allowed;
     round_.out.assign(static_cast<size_t>(W),
                       std::vector<std::vector<FrameMsg>>(
                           static_cast<size_t>(fanout)));
@@ -540,13 +594,22 @@ Status Cluster::RunRound(
     round_.status.assign(static_cast<size_t>(W), Status::OK());
     round_.stats.assign(static_cast<size_t>(W), ExecStats());
     for (auto& w : workers_) {
+      size_t rank = static_cast<size_t>(w->rank);
+      if (!participating[rank]) {
+        // Already completed in a previous attempt; its output is
+        // banked in the spool.
+        round_.done[rank] = true;
+        ++round_.done_count;
+        continue;
+      }
       if (!w->alive) {
-        size_t rank = static_cast<size_t>(w->rank);
         round_.done[rank] = true;
         round_.status[rank] = Status::WorkerLost(
             "worker " + std::to_string(w->rank) + " is down: " +
             w->death.ToString());
-        if (round_.failure.ok()) round_.failure = round_.status[rank];
+        if (!retry_allowed && round_.failure.ok()) {
+          round_.failure = round_.status[rank];
+        }
         ++round_.done_count;
       } else {
         participants.push_back(w.get());
@@ -563,9 +626,9 @@ Status Cluster::RunRound(
       w->last_ping = std::chrono::steady_clock::now();
     }
     w->last_heard_ms.store(NowMs());
-    senders.emplace_back([=, &query, &rules, &exec, &stage, &stage_out] {
+    senders.emplace_back([=, this, &query, &rules, &exec, &stage] {
       SenderLoop(w, query, rules, exec, stage, fanout, deadline_remaining_ms,
-                 stage_out, ctx);
+                 spool, replay, ctx);
     });
   }
 
@@ -650,11 +713,19 @@ Status Cluster::RunRound(
   Status result = round_.failure;
   stats->dist_frames += round_.frames;
   stats->dist_bytes += round_.bytes;
+  stats->frames_replayed += round_.replayed;
   if (!result.ok()) return result;
-  for (int rank = 0; rank < W; ++rank) {
-    stats->MergeFrom(round_.stats[static_cast<size_t>(rank)]);
+  for (int rank : ranks) {
+    size_t r = static_cast<size_t>(rank);
+    if (round_.status[r].ok()) {
+      stats->MergeFrom(round_.stats[r]);
+      (*accum)[r] = std::move(round_.out[r]);
+    } else {
+      // With retry_allowed the only per-rank failure that leaves
+      // round_.failure OK is a worker loss — re-dispatchable.
+      lost->push_back(rank);
+    }
   }
-  *round_out = std::move(round_.out);
   return Status::OK();
 }
 
@@ -718,24 +789,114 @@ Result<QueryOutput> Cluster::Run(const std::string& query,
   auto start = std::chrono::steady_clock::now();
   QueryOutput out;
   out.stats.dist_workers = static_cast<uint64_t>(W);
-  std::vector<std::vector<std::vector<std::vector<FrameMsg>>>> stage_out(
-      split.stages.size());
+
+  // Replay-buffer lifecycle: stage t's banked frames can be freed once
+  // its last consumer stage succeeds (the final stage stays for the
+  // gather below).
+  std::vector<int> last_consumer(split.stages.size(), -1);
+  for (const FragmentStage& stage : split.stages) {
+    for (int input : stage.inputs) {
+      size_t i = static_cast<size_t>(input);
+      if (stage.id > last_consumer[i]) last_consumer[i] = stage.id;
+    }
+  }
+
+  ReplaySpool spool(options_.replay_memory_bytes, exec.spill_dir);
   for (const FragmentStage& stage : split.stages) {
     int fanout = stage.shuffled ? W : 1;
-    std::vector<std::vector<std::vector<FrameMsg>>> round_out;
-    Status st = RunRound(query, rules, exec, stage, fanout, stage_out, ctx,
-                         &out.stats, &round_out);
-    ++out.stats.dist_rounds;
-    if (!st.ok()) return st;
-    stage_out[static_cast<size_t>(stage.id)] = std::move(round_out);
+    std::vector<std::vector<std::vector<FrameMsg>>> accum(
+        static_cast<size_t>(W),
+        std::vector<std::vector<FrameMsg>>(static_cast<size_t>(fanout)));
+    std::vector<int> ranks(static_cast<size_t>(W));
+    for (int r = 0; r < W; ++r) ranks[static_cast<size_t>(r)] = r;
+    int retries_left = options_.max_fragment_retries;
+    int attempt = 0;
+    bool recovering = false;
+    std::chrono::steady_clock::time_point recovery_start{};
+    while (true) {
+      if (options_.test_round_hook) options_.test_round_hook(stage.id, attempt);
+      std::vector<int> lost;
+      Status st = RunRound(query, rules, exec, stage, fanout, &spool, ranks,
+                           /*retry_allowed=*/retries_left > 0,
+                           /*replay=*/attempt > 0, ctx, &out.stats, &accum,
+                           &lost);
+      ++out.stats.dist_rounds;
+      if (!st.ok()) return st;
+      if (lost.empty()) break;
+      if (retries_left <= 0) {
+        return Status::WorkerLost(
+            "stage " + std::to_string(stage.id) + " lost " +
+            std::to_string(lost.size()) + " worker(s) with no retry budget "
+            "left (max_fragment_retries=" +
+            std::to_string(options_.max_fragment_retries) + ")");
+      }
+      if (!recovering) {
+        recovering = true;
+        recovery_start = std::chrono::steady_clock::now();
+      }
+      --retries_left;
+      ++attempt;
+      out.stats.fragment_retries += lost.size();
+      // Exponential backoff, sliced so cancellation stays responsive.
+      int shift = attempt - 1 < 20 ? attempt - 1 : 20;
+      int64_t backoff_ms = static_cast<int64_t>(options_.retry_backoff_ms)
+                           << shift;
+      if (backoff_ms > options_.worker_timeout_ms) {
+        backoff_ms = options_.worker_timeout_ms;
+      }
+      auto backoff_until = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(backoff_ms);
+      while (std::chrono::steady_clock::now() < backoff_until) {
+        JPAR_RETURN_NOT_OK(ctx->Check("fragment retry backoff"));
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      // Respawn dead ranks and resync their catalogs. Best-effort: a
+      // rank that cannot be revived (or resynced) is simply lost again
+      // on the next attempt, which consumes the remaining budget and
+      // fails cleanly.
+      auto count_dead = [&] {
+        std::lock_guard<std::mutex> lock(mu_);
+        int n = 0;
+        for (auto& w : workers_) {
+          if (!w->alive) ++n;
+        }
+        return n;
+      };
+      int dead_before = count_dead();
+      Status revive = EnsureWorkers();
+      int dead_after = count_dead();
+      if (dead_before > dead_after) {
+        out.stats.workers_respawned +=
+            static_cast<uint64_t>(dead_before - dead_after);
+      }
+      if (revive.ok()) (void)SyncCatalog(catalog);
+      ranks = std::move(lost);
+    }
+    if (recovering) {
+      out.stats.recovery_ms +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - recovery_start)
+              .count();
+    }
+    JPAR_RETURN_NOT_OK(spool.StoreStage(stage.id, W, fanout, std::move(accum)));
+    for (int input : stage.inputs) {
+      if (last_consumer[static_cast<size_t>(input)] == stage.id) {
+        spool.Free(input);
+      }
+    }
   }
 
   // Gather: the last stage's single bucket, in worker-rank order —
   // exactly the in-process partition concatenation order.
-  auto& final_out = stage_out[split.stages.size() - 1];
+  const int final_stage = split.stages.back().id;
   std::vector<Frame> frames;
   for (int src = 0; src < W; ++src) {
-    for (FrameMsg& f : final_out[static_cast<size_t>(src)][0]) {
+    JPAR_ASSIGN_OR_RETURN(ReplaySpool::Cursor cursor,
+                          spool.Open(final_stage, src, 0));
+    while (true) {
+      FrameMsg f;
+      JPAR_ASSIGN_OR_RETURN(bool have, cursor.Next(&f));
+      if (!have) break;
       Frame frame;
       frame.bytes = std::move(f.bytes);
       frame.tuple_count = f.tuple_count;
@@ -755,6 +916,7 @@ Result<QueryOutput> Cluster::Run(const std::string& query,
         std::move(tuple[static_cast<size_t>(split.result_column)]));
   }
   out.stats.result_rows = out.items.size();
+  out.stats.replay_spill_bytes = spool.spill_bytes();
   double wall = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();

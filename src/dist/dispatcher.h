@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,15 +15,17 @@
 #include "dist/exchange.h"
 #include "dist/fragment.h"
 #include "dist/protocol.h"
+#include "dist/replay.h"
 #include "dist/wire.h"
 
 namespace jpar {
 
-/// Cluster topology and failure-detection knobs (DESIGN.md §11).
+/// Cluster topology, failure-detection, and recovery knobs
+/// (DESIGN.md §11–§12).
 struct DistOptions {
   /// Worker processes to spawn locally over socketpairs (the test and
   /// single-host deployment). Dead local workers are respawned at the
-  /// start of the next query.
+  /// start of the next query (and mid-query during fragment retry).
   int local_workers = 0;
   /// Already-running workers to attach by endpoint ("host:port" or
   /// "unix:<path>"); appended after the locally spawned ranks.
@@ -40,9 +43,39 @@ struct DistOptions {
   /// After a cancel broadcast, how long to wait for workers to
   /// acknowledge with kOutputEof before force-dropping them.
   int drain_timeout_ms = 2000;
+  /// Times a lost fragment may be re-dispatched (per stage, across all
+  /// ranks) before the query fails with kWorkerLost. 0 — the default —
+  /// disables recovery: any worker loss surfaces immediately, the
+  /// pre-§12 behavior. Recompilation is deterministic and retried
+  /// fragments replay their recorded inputs, so a retry re-executes
+  /// the exact same fragment.
+  int max_fragment_retries = 0;
+  /// Base backoff before re-dispatching a lost fragment; doubles per
+  /// consecutive retry of the same stage (capped at worker_timeout_ms).
+  int retry_backoff_ms = 100;
+  /// Memory budget for the dispatcher's replay buffer (completed
+  /// stages' output frames, kept for retry replay); stages beyond the
+  /// budget overflow to disk via SpillManager (counted as
+  /// ExecStats::replay_spill_bytes). The buffer is also what the final
+  /// gather reads, so it exists even with retries disabled.
+  uint64_t replay_memory_bytes = 64ull << 20;
+  /// Test hook fired before each round dispatch with (stage_id,
+  /// attempt); attempt 0 is the first dispatch of that stage. Lets the
+  /// chaos tests place kills deterministically. Must be thread-safe
+  /// against worker reader threads (it runs on the Run() thread).
+  std::function<void(int stage_id, int attempt)> test_round_hook;
 
   bool enabled() const { return local_workers > 0 || !endpoints.empty(); }
 };
+
+/// The ISSUE/ROADMAP name for the dispatcher's option set.
+using ClusterOptions = DistOptions;
+
+/// Rejects non-positive timing/window knobs (and a negative retry
+/// budget) with kInvalidArgument — a zero heartbeat or drain timeout
+/// would spin or hang instead of failing visibly. Checked by
+/// Cluster::Start() and Run().
+Status ValidateDistOptions(const DistOptions& options);
 
 /// The dispatcher: owns the worker connections and runs distributed
 /// queries round by round — one fragment stage per round, every worker
@@ -82,8 +115,11 @@ class Cluster {
   /// the cluster and gathers the result. `catalog` is shipped to any
   /// worker whose replica is older than catalog->version(). `ctx` may
   /// be null; with a null ctx a positive exec.deadline_ms starts
-  /// counting now. A worker that dies or goes silent mid-query yields
-  /// kWorkerLost; local workers are respawned on the next query.
+  /// counting now. A worker that dies or goes silent mid-query is
+  /// respawned and its fragment re-dispatched (with replayed inputs)
+  /// up to max_fragment_retries times per stage; past the budget — or
+  /// always, when the budget is 0 — the query yields kWorkerLost and
+  /// local workers are respawned on the next query.
   Result<QueryOutput> Run(const std::string& query, const RuleOptions& rules,
                           const ExecOptions& exec,
                           const CompiledQuery& compiled,
@@ -125,7 +161,12 @@ class Cluster {
     int done_count = 0;
     uint64_t frames = 0;
     uint64_t bytes = 0;
-    Status failure;  // first fragment failure or worker loss
+    uint64_t replayed = 0;  // input frames re-sent on retry attempts
+    /// When true, a rank lost to kWorkerLost does not set `failure`
+    /// (the round completes and the lost ranks are re-dispatched);
+    /// fragment-reported errors still fail the round immediately.
+    bool retry_worker_lost = false;
+    Status failure;  // first non-retryable failure
     QueryContext* ctx = nullptr;  // for exchange fault injection
   };
 
@@ -138,26 +179,35 @@ class Cluster {
 
   Status SyncCatalog(const Catalog& catalog);
 
-  /// One fragment round: dispatch stage to every rank, route inputs,
-  /// collect outputs and EOFs. `stage_out[s]` holds finished stage s's
-  /// frames as [src][bucket].
-  Status RunRound(
-      const std::string& query, const RuleOptions& rules,
-      const ExecOptions& exec, const FragmentStage& stage, int fanout,
-      const std::vector<std::vector<std::vector<std::vector<FrameMsg>>>>&
-          stage_out,
-      QueryContext* ctx, ExecStats* stats,
-      std::vector<std::vector<std::vector<FrameMsg>>>* round_out);
+  /// One dispatch attempt of `stage` over the ranks in `ranks` (every
+  /// other rank is treated as already complete — its output is banked
+  /// in the spool from a previous attempt). Inputs are streamed from
+  /// `spool`. Successful ranks' output buckets move into
+  /// (*accum)[rank] and their fragment stats merge into *stats; ranks
+  /// lost to kWorkerLost are appended to *lost. When `retry_allowed`,
+  /// such losses do not fail the round — healthy ranks run to
+  /// completion; any other failure cancels the round and is returned.
+  /// `replay` marks a retry attempt (forwarded input frames count as
+  /// frames_replayed).
+  Status RunRound(const std::string& query, const RuleOptions& rules,
+                  const ExecOptions& exec, const FragmentStage& stage,
+                  int fanout, ReplaySpool* spool,
+                  const std::vector<int>& ranks, bool retry_allowed,
+                  bool replay, QueryContext* ctx, ExecStats* stats,
+                  std::vector<std::vector<std::vector<FrameMsg>>>* accum,
+                  std::vector<int>* lost);
 
   void SenderLoop(Worker* worker, const std::string& query,
                   const RuleOptions& rules, const ExecOptions& exec,
                   const FragmentStage& stage, int fanout,
-                  double deadline_remaining_ms,
-                  const std::vector<std::vector<std::vector<std::vector<
-                      FrameMsg>>>>& stage_out,
-                  QueryContext* ctx);
+                  double deadline_remaining_ms, ReplaySpool* spool,
+                  bool replay, QueryContext* ctx);
 
   void ReaderLoop(Worker* worker);
+  /// Fails the current round with a non-retryable error (the wait loop
+  /// broadcasts the cancel). Used for dispatcher-side faults like
+  /// replay-buffer I/O errors that are not any worker's fault.
+  void FailRound(const Status& why);
   void OnOutputFrame(Worker* worker, FrameMsg frame);
   void OnOutputEof(Worker* worker, OutputEofMsg eof);
 

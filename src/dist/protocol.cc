@@ -240,6 +240,11 @@ void EncodeExecStats(const ExecStats& stats, std::string* out) {
   PutVarint(stats.dist_rounds, out);
   PutVarint(stats.dist_frames, out);
   PutVarint(stats.dist_bytes, out);
+  PutVarint(stats.fragment_retries, out);
+  PutVarint(stats.workers_respawned, out);
+  PutVarint(stats.frames_replayed, out);
+  PutVarint(stats.replay_spill_bytes, out);
+  PutDouble(stats.recovery_ms, out);
 }
 
 Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
@@ -281,6 +286,11 @@ Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
   JPAR_ASSIGN_OR_RETURN(out->dist_rounds, r->Varint());
   JPAR_ASSIGN_OR_RETURN(out->dist_frames, r->Varint());
   JPAR_ASSIGN_OR_RETURN(out->dist_bytes, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->fragment_retries, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->workers_respawned, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->frames_replayed, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->replay_spill_bytes, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->recovery_ms, r->Double());
   return Status::OK();
 }
 

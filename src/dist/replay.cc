@@ -1,0 +1,130 @@
+#include "dist/replay.h"
+
+#include <utility>
+
+namespace jpar {
+
+namespace {
+
+uint64_t FrameCost(const FrameMsg& frame) {
+  // Payload plus a small fixed overhead for the header fields and
+  // vector bookkeeping; exactness does not matter, boundedness does.
+  return frame.bytes.size() + 32;
+}
+
+}  // namespace
+
+Result<bool> ReplaySpool::Cursor::Next(FrameMsg* frame) {
+  if (mem_ != nullptr) {
+    if (pos_ >= mem_->size()) return false;
+    *frame = (*mem_)[pos_++];
+    return true;
+  }
+  if (run_ != nullptr) {
+    std::string record;
+    JPAR_ASSIGN_OR_RETURN(bool have, run_->Next(&record));
+    if (!have) return false;
+    JPAR_ASSIGN_OR_RETURN(*frame, DecodeFrameMsg(record));
+    return true;
+  }
+  return false;  // empty channel
+}
+
+Status ReplaySpool::EnsureSpillManagerLocked() {
+  if (spill_ != nullptr) return Status::OK();
+  // No QueryContext: the replay buffer is dispatcher infrastructure,
+  // not query execution — the spill.io_error fault point must not turn
+  // recovery bookkeeping itself into an injected failure.
+  JPAR_ASSIGN_OR_RETURN(spill_, SpillManager::Create(dir_hint_, nullptr));
+  return Status::OK();
+}
+
+Status ReplaySpool::StoreStage(
+    int stage_id, int sources, int fanout,
+    std::vector<std::vector<std::vector<FrameMsg>>> out) {
+  uint64_t bytes = 0;
+  for (const auto& per_src : out) {
+    for (const auto& bucket : per_src) {
+      for (const FrameMsg& frame : bucket) bytes += FrameCost(frame);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Stage stage;
+  stage.sources = sources;
+  stage.fanout = fanout;
+  stage.channels.resize(static_cast<size_t>(sources) *
+                        static_cast<size_t>(fanout));
+  const bool in_memory = mem_bytes_ + bytes <= budget_;
+  for (int src = 0; src < sources; ++src) {
+    for (int bucket = 0; bucket < fanout; ++bucket) {
+      std::vector<FrameMsg>& frames =
+          out[static_cast<size_t>(src)][static_cast<size_t>(bucket)];
+      Channel& channel =
+          stage.channels[static_cast<size_t>(src * fanout + bucket)];
+      if (in_memory) {
+        channel.mem = std::move(frames);
+        continue;
+      }
+      if (frames.empty()) continue;  // no run file for empty channels
+      JPAR_RETURN_NOT_OK(EnsureSpillManagerLocked());
+      JPAR_ASSIGN_OR_RETURN(auto writer, spill_->NewRun());
+      for (const FrameMsg& frame : frames) {
+        JPAR_RETURN_NOT_OK(writer->Append(EncodeFrameMsg(frame)));
+      }
+      JPAR_RETURN_NOT_OK(writer->Finish());
+      channel.run_path = writer->path();
+    }
+  }
+  if (in_memory) {
+    stage.mem_bytes = bytes;
+    mem_bytes_ += bytes;
+  }
+  stages_[stage_id] = std::move(stage);
+  return Status::OK();
+}
+
+Result<ReplaySpool::Cursor> ReplaySpool::Open(int stage_id, int src,
+                                              int bucket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stages_.find(stage_id);
+  if (it == stages_.end()) {
+    return Status::Internal("replay spool has no stage " +
+                            std::to_string(stage_id));
+  }
+  Stage& stage = it->second;
+  if (src < 0 || src >= stage.sources || bucket < 0 ||
+      bucket >= stage.fanout) {
+    return Status::Internal("replay channel out of range: stage " +
+                            std::to_string(stage_id) + " src " +
+                            std::to_string(src) + " bucket " +
+                            std::to_string(bucket));
+  }
+  Channel& channel =
+      stage.channels[static_cast<size_t>(src * stage.fanout + bucket)];
+  Cursor cursor;
+  if (!channel.run_path.empty()) {
+    JPAR_ASSIGN_OR_RETURN(cursor.run_, spill_->OpenRun(channel.run_path));
+  } else if (!channel.mem.empty()) {
+    cursor.mem_ = &channel.mem;
+  }
+  return cursor;
+}
+
+void ReplaySpool::Free(int stage_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stages_.find(stage_id);
+  if (it == stages_.end()) return;
+  mem_bytes_ -= it->second.mem_bytes;
+  for (Channel& channel : it->second.channels) {
+    if (!channel.run_path.empty()) spill_->Remove(channel.run_path);
+  }
+  stages_.erase(it);
+}
+
+uint64_t ReplaySpool::spill_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_ != nullptr ? spill_->bytes_written() : 0;
+}
+
+}  // namespace jpar

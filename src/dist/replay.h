@@ -1,0 +1,98 @@
+#ifndef JPAR_DIST_REPLAY_H_
+#define JPAR_DIST_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/protocol.h"
+#include "runtime/spill.h"
+
+namespace jpar {
+
+/// The dispatcher's replay buffer (DESIGN.md §12): completed fragment
+/// stages' output frames, kept so a retried consumer-side fragment can
+/// replay its inputs without re-running healthy upstream fragments.
+/// Frames stay in memory up to `memory_budget_bytes`; stages stored
+/// beyond the budget overflow to disk through a SpillManager (one run
+/// file per (source rank, bucket) channel, records = the FrameMsg wire
+/// encoding). A stage is freed once its last consumer stage succeeds.
+///
+/// Thread-safety: Open() and the accounting are mutex-guarded; each
+/// Cursor owns its own file handle, so concurrent sender threads can
+/// stream distinct channels in parallel. Callers must not Free() a
+/// stage while cursors over it are live (the dispatcher only frees
+/// after a round's senders have joined).
+class ReplaySpool {
+ public:
+  ReplaySpool(uint64_t memory_budget_bytes, std::string spill_dir_hint)
+      : budget_(memory_budget_bytes), dir_hint_(std::move(spill_dir_hint)) {}
+
+  ReplaySpool(const ReplaySpool&) = delete;
+  ReplaySpool& operator=(const ReplaySpool&) = delete;
+
+  /// Streams one stored channel's frames in arrival order: first any
+  /// in-memory frames, else the spilled run. Move-only.
+  class Cursor {
+   public:
+    Cursor() = default;
+    Cursor(Cursor&&) = default;
+    Cursor& operator=(Cursor&&) = default;
+
+    /// Fills `*frame` with the next frame; false at end of channel.
+    Result<bool> Next(FrameMsg* frame);
+
+   private:
+    friend class ReplaySpool;
+    const std::vector<FrameMsg>* mem_ = nullptr;  // null when spilled/empty
+    size_t pos_ = 0;
+    std::unique_ptr<SpillRunReader> run_;  // null when in memory/empty
+  };
+
+  /// Banks stage `stage_id`'s output, `out[src][bucket]` = frames in
+  /// arrival order. Spills the whole stage when it does not fit in
+  /// what is left of the memory budget.
+  Status StoreStage(int stage_id, int sources, int fanout,
+                    std::vector<std::vector<std::vector<FrameMsg>>> out);
+
+  /// Opens a cursor over stage `stage_id`'s frames from `src` for
+  /// bucket `bucket`. The stage must have been stored and not freed.
+  Result<Cursor> Open(int stage_id, int src, int bucket);
+
+  /// Releases stage `stage_id`'s frames (memory and run files). No-op
+  /// for unknown stages.
+  void Free(int stage_id);
+
+  /// Replay-buffer bytes written to disk so far (ExecStats::
+  /// replay_spill_bytes).
+  uint64_t spill_bytes() const;
+
+ private:
+  struct Channel {
+    std::vector<FrameMsg> mem;  // populated iff the stage fit in memory
+    std::string run_path;       // populated iff spilled and non-empty
+  };
+  struct Stage {
+    int sources = 0;
+    int fanout = 0;
+    std::vector<Channel> channels;  // [src * fanout + bucket]
+    uint64_t mem_bytes = 0;
+  };
+
+  Status EnsureSpillManagerLocked();
+
+  mutable std::mutex mu_;
+  uint64_t budget_;
+  std::string dir_hint_;
+  std::unique_ptr<SpillManager> spill_;  // lazy; created on first overflow
+  uint64_t mem_bytes_ = 0;
+  std::map<int, Stage> stages_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_DIST_REPLAY_H_

@@ -74,12 +74,21 @@ class Socket {
 // ---------------------------------------------------------------------
 // Message framing: every protocol message travels as
 //   u32 magic ("JPAR", little-endian) | u8 type | u32 payload length |
-//   payload bytes.
+//   u32 CRC32 of the payload | payload bytes.
 // The magic and a hard payload-size cap reject corrupt or truncated
 // streams with a clean kIOError instead of attempting a bogus
-// gigabyte-sized read.
+// gigabyte-sized read; the checksum catches payload bit-flips that a
+// well-formed header would otherwise let through. On a data channel a
+// checksum mismatch kills the connection, which the dispatcher treats
+// as worker loss — recoverable via fragment retry (DESIGN.md §12).
 
 inline constexpr uint32_t kWireMagic = 0x5241504Au;  // "JPAR" LE
+/// Framed-message header size: magic + type + length + payload CRC32.
+inline constexpr size_t kWireHeaderBytes = 13;
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data` —
+/// the checksum carried in every wire header.
+uint32_t WireCrc32(std::string_view data);
 /// Upper bound on one message's payload. Frames are ~ExecOptions::
 /// frame_bytes, catalog syncs ship one file per message; 1 GiB is far
 /// above anything legitimate and small enough to refuse garbage.
@@ -95,8 +104,9 @@ struct WireMessage {
 Status WriteMessage(Socket* sock, uint8_t type, std::string_view payload);
 
 /// Reads one framed message. Returns false on a clean EOF between
-/// messages (peer shut down); corrupt magic, oversized length, or a
-/// truncated payload fail with kIOError.
+/// messages (peer shut down); corrupt magic, oversized length, a
+/// truncated payload, or a payload checksum mismatch fail with
+/// kIOError.
 Result<bool> ReadMessage(Socket* sock, WireMessage* out);
 
 }  // namespace jpar

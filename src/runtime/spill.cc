@@ -1,10 +1,14 @@
 #include "runtime/spill.h"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <random>
+#include <set>
 #include <system_error>
 #include <utility>
 
@@ -84,9 +88,61 @@ Status DecodeTupleFrom(ItemReader* reader, Tuple* out) {
 // ---------------------------------------------------------------------
 // SpillManager
 
+int SweepOrphanedSpillFiles(const std::string& dir) {
+  int removed = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const std::string name = entry.path().filename().string();
+    // jpar-spill-<pid>-<token>-<n>.run
+    constexpr std::string_view kPrefix = "jpar-spill-";
+    constexpr std::string_view kSuffix = ".run";
+    if (name.rfind(kPrefix, 0) != 0 || name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    size_t pid_begin = kPrefix.size();
+    size_t pid_end = name.find('-', pid_begin);
+    if (pid_end == std::string::npos || pid_end == pid_begin) continue;
+    pid_t pid = 0;
+    bool numeric = true;
+    for (size_t i = pid_begin; i < pid_end; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      pid = pid * 10 + (name[i] - '0');
+    }
+    if (!numeric || pid <= 0) continue;
+    // kill(pid, 0) probes existence without signaling; EPERM still
+    // means the process exists (someone else's), so only ESRCH counts.
+    if (::kill(pid, 0) == 0 || errno != ESRCH) continue;
+    std::error_code rm_ec;
+    if (std::filesystem::remove(entry.path(), rm_ec) && !rm_ec) ++removed;
+  }
+  return removed;
+}
+
 Result<std::unique_ptr<SpillManager>> SpillManager::Create(
     const std::string& dir_hint, QueryContext* ctx) {
   JPAR_ASSIGN_OR_RETURN(std::string dir, ResolveSpillDir(dir_hint));
+  // Reclaim run files leaked by SIGKILLed predecessors — once per
+  // directory per process; a per-manager readdir would tax every
+  // spilling operator for a startup-hygiene concern.
+  {
+    static std::mutex swept_mu;
+    static std::set<std::string>* swept = new std::set<std::string>();
+    bool first;
+    {
+      std::lock_guard<std::mutex> lock(swept_mu);
+      first = swept->insert(dir).second;
+    }
+    if (first) SweepOrphanedSpillFiles(dir);
+  }
   return std::unique_ptr<SpillManager>(new SpillManager(std::move(dir), ctx));
 }
 

@@ -21,6 +21,16 @@ namespace jpar {
 /// kInvalidArgument when the resolved path is not a writable directory.
 Result<std::string> ResolveSpillDir(const std::string& dir_hint);
 
+/// Removes orphaned spill run files in `dir`: files matching the
+/// `jpar-spill-<pid>-<token>-<n>.run` naming scheme whose embedded pid
+/// no longer names a live process. A SIGKILLed worker never runs its
+/// SpillManager destructor sweep, so its run files outlive it; this
+/// reclaims them. Returns the number of files removed (best-effort;
+/// unreadable directories count as zero). SpillManager::Create invokes
+/// it automatically the first time a process touches each spill
+/// directory.
+int SweepOrphanedSpillFiles(const std::string& dir);
+
 /// Appends `t` to `out` as an Int64 column count followed by each
 /// column, all in the binary_serde item encoding. The inverse is
 /// DecodeTupleFrom; round-trips are exact (doubles bit-preserved), which

@@ -86,9 +86,18 @@ struct ExecStats {
   /// Distributed execution (src/dist, DESIGN.md §11); all 0 for
   /// single-process runs.
   uint64_t dist_workers = 0;  // worker processes that ran fragments
-  uint64_t dist_rounds = 0;   // fragment rounds (stages) dispatched
+  uint64_t dist_rounds = 0;   // fragment rounds (attempts) dispatched
   uint64_t dist_frames = 0;   // data frames routed through the dispatcher
   uint64_t dist_bytes = 0;    // payload bytes of those frames
+
+  /// Failure recovery (DESIGN.md §12); all 0 when no worker was lost.
+  uint64_t fragment_retries = 0;   // fragment re-dispatches after kWorkerLost
+  uint64_t workers_respawned = 0;  // worker processes respawned mid-query
+  uint64_t frames_replayed = 0;    // input frames re-sent to retried fragments
+  uint64_t replay_spill_bytes = 0;  // replay-buffer bytes spilled to disk
+  /// Wall clock from first loss detection until the affected stages
+  /// completed (includes backoff, respawn, and re-execution time).
+  double recovery_ms = 0;
 
   void Merge(const StageStats& stage) { stages.push_back(stage); }
 
@@ -111,6 +120,11 @@ struct ExecStats {
     spill_merge_passes += other.spill_merge_passes;
     dist_frames += other.dist_frames;
     dist_bytes += other.dist_bytes;
+    fragment_retries += other.fragment_retries;
+    workers_respawned += other.workers_respawned;
+    frames_replayed += other.frames_replayed;
+    replay_spill_bytes += other.replay_spill_bytes;
+    recovery_ms += other.recovery_ms;
   }
 };
 

@@ -240,11 +240,26 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
           ++distributed_;
           result = cluster_->Run(query, opts.rules, opts.exec, *plan,
                                  *engine_.catalog(), &ctx);
+          if (!result.ok() &&
+              result.status().code() == StatusCode::kWorkerLost &&
+              options_.dist_fallback_on_worker_loss &&
+              ctx.Check("dist fallback").ok()) {
+            // Graceful degradation (DESIGN.md §12): the cluster's
+            // retry budget is spent, but the query itself is fine —
+            // finish it in-process rather than failing the client.
+            ++dist_fallbacks_;
+            ++dist_worker_lost_fallbacks_;
+            result = engine_.Execute(*plan, opts.exec, &ctx);
+          }
         } else {
           if (cluster_) ++dist_fallbacks_;
           result = engine_.Execute(*plan, opts.exec, &ctx);
         }
         if (result.ok()) {
+          fragment_retries_ += result->stats.fragment_retries;
+          workers_respawned_ += result->stats.workers_respawned;
+          frames_replayed_ += result->stats.frames_replayed;
+          replay_spill_bytes_ += result->stats.replay_spill_bytes;
           output = *std::move(result);
         } else {
           st = result.status();
@@ -284,6 +299,11 @@ ServiceMetrics QueryService::Metrics() const {
   m.deadline_exceeded = deadline_exceeded_.load();
   m.distributed = distributed_.load();
   m.dist_fallbacks = dist_fallbacks_.load();
+  m.dist_worker_lost_fallbacks = dist_worker_lost_fallbacks_.load();
+  m.fragment_retries = fragment_retries_.load();
+  m.workers_respawned = workers_respawned_.load();
+  m.frames_replayed = frames_replayed_.load();
+  m.replay_spill_bytes = replay_spill_bytes_.load();
   return m;
 }
 
@@ -306,6 +326,11 @@ std::string ServiceMetrics::ToString() const {
   line("sessions", sessions);
   line("distributed", distributed);
   line("distributed fallbacks", dist_fallbacks);
+  line("worker-lost fallbacks", dist_worker_lost_fallbacks);
+  line("fragment retries", fragment_retries);
+  line("workers respawned", workers_respawned);
+  line("frames replayed", frames_replayed);
+  line("replay spill bytes", replay_spill_bytes);
   out += "plan cache:\n";
   line("hits", plan_cache.hits);
   line("misses", plan_cache.misses);

@@ -56,12 +56,21 @@ struct ServiceOptions {
   /// default) injects nothing — used by the fault-injection tests and
   /// bench_fault_recovery.
   FaultInjector* fault_injector = nullptr;
-  /// Distributed execution (DESIGN.md §11). When enabled, queries
+  /// Distributed execution (DESIGN.md §11–§12). When enabled, queries
   /// whose plan shape supports it run across the worker cluster; the
   /// rest fall back to in-process execution (counted as
-  /// dist_fallbacks). Worker failures surface to the client as
-  /// kWorkerLost — the service does not silently retry in-process.
+  /// dist_fallbacks). Worker failures are first retried inside the
+  /// cluster (DistOptions::max_fragment_retries); what happens when
+  /// the retry budget is exhausted is governed by
+  /// dist_fallback_on_worker_loss below.
   DistOptions dist;
+  /// Graceful degradation: when a distributed query fails with
+  /// kWorkerLost (retry budget exhausted or retries disabled), re-run
+  /// it in-process instead of surfacing the error — the client sees a
+  /// successful answer, the operator sees dist_worker_lost_fallbacks.
+  /// Set false to surface kWorkerLost to the client (the pre-§12
+  /// behavior). Cancelled/expired queries are never re-run.
+  bool dist_fallback_on_worker_loss = true;
 };
 
 /// Per-submission knobs (Session::Submit's second argument).
@@ -173,7 +182,16 @@ struct ServiceMetrics {
   uint64_t deadline_exceeded = 0;  // ended with kDeadlineExceeded
   // Distributed execution (zero unless ServiceOptions::dist enabled).
   uint64_t distributed = 0;      // ran on the worker cluster
-  uint64_t dist_fallbacks = 0;   // plan shape forced in-process
+  uint64_t dist_fallbacks = 0;   // ran in-process instead (any reason)
+  // Failure recovery (DESIGN.md §12). Counters below aggregate the
+  // ExecStats of successfully completed queries (a query that fails
+  // outright reports no stats), except dist_worker_lost_fallbacks
+  // which counts the mid-query in-process reruns themselves.
+  uint64_t dist_worker_lost_fallbacks = 0;  // kWorkerLost → in-process rerun
+  uint64_t fragment_retries = 0;    // fragments re-dispatched after loss
+  uint64_t workers_respawned = 0;   // workers respawned mid-query
+  uint64_t frames_replayed = 0;     // input frames replayed to retries
+  uint64_t replay_spill_bytes = 0;  // replay buffer bytes spilled to disk
 
   /// Multi-line human-readable dump (used by bench_service_throughput).
   std::string ToString() const;
@@ -243,6 +261,11 @@ class QueryService {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> distributed_{0};
   std::atomic<uint64_t> dist_fallbacks_{0};
+  std::atomic<uint64_t> dist_worker_lost_fallbacks_{0};
+  std::atomic<uint64_t> fragment_retries_{0};
+  std::atomic<uint64_t> workers_respawned_{0};
+  std::atomic<uint64_t> frames_replayed_{0};
+  std::atomic<uint64_t> replay_spill_bytes_{0};
 
   /// Non-null iff options_.dist.enabled(). Declared before pool_ so
   /// worker threads (which call into it) stop before it is destroyed;

@@ -8,6 +8,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -99,10 +100,63 @@ class DistFaultTest : public ::testing::Test {
                         *engine_->catalog(), ctx);
   }
 
+  std::vector<std::string> Rows(const QueryOutput& output) {
+    std::vector<std::string> rows;
+    for (const Item& item : output.items) rows.push_back(item.ToJsonString());
+    return rows;
+  }
+
+  /// Reference rows from an in-process run with partitions = 2 (the
+  /// fixture's ExecOptions), which distributed runs must match exactly.
+  std::vector<std::string> ReferenceRows() {
+    auto local = engine_->Execute(*compiled_, options_.exec);
+    EXPECT_TRUE(local.ok()) << local.status().ToString();
+    return local.ok() ? Rows(*local) : std::vector<std::string>();
+  }
+
   EngineOptions options_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<CompiledQuery> compiled_;
 };
+
+TEST_F(DistFaultTest, InvalidRecoveryKnobsRejected) {
+  auto expect_invalid = [](DistOptions dist) {
+    Cluster cluster(std::move(dist));
+    Status st = cluster.Start();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+    cluster.Stop();
+  };
+  {
+    DistOptions d = MakeDist(1);
+    d.max_fragment_retries = -1;
+    expect_invalid(d);
+  }
+  {
+    DistOptions d = MakeDist(1);
+    d.retry_backoff_ms = 0;
+    expect_invalid(d);
+  }
+  {
+    DistOptions d = MakeDist(1);
+    d.heartbeat_ms = 0;
+    expect_invalid(d);
+  }
+  {
+    DistOptions d = MakeDist(1);
+    d.worker_timeout_ms = -3;
+    expect_invalid(d);
+  }
+  {
+    DistOptions d = MakeDist(1);
+    d.drain_timeout_ms = 0;
+    expect_invalid(d);
+  }
+  {
+    DistOptions d = MakeDist(1);
+    d.credit_window = 0;
+    expect_invalid(d);
+  }
+}
 
 TEST_F(DistFaultTest, DroppedExchangeFrameYieldsWorkerLost) {
   Cluster cluster(MakeDist(2));
@@ -156,6 +210,94 @@ TEST_F(DistFaultTest, KilledWorkerYieldsWorkerLostThenRespawns) {
   cluster.Stop();
 }
 
+TEST_F(DistFaultTest, KilledWorkerIsRetriedToByteIdenticalSuccess) {
+  DistOptions dist = MakeDist(2);
+  dist.max_fragment_retries = 3;
+  dist.retry_backoff_ms = 25;
+  Cluster cluster(dist);
+  auto warm = Run(&cluster, nullptr);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  std::vector<pid_t> workers = ChildWorkerPids();
+  ASSERT_EQ(workers.size(), 2u);
+
+  // Same kill schedule as KilledWorkerYieldsWorkerLostThenRespawns —
+  // but with a retry budget the query recovers instead of failing.
+  FaultInjector faults;
+  faults.ArmStall(FaultInjector::kWorkerStall, 400);
+  QueryContext ctx;
+  ctx.set_fault_injector(&faults);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    kill(workers[0], SIGKILL);
+  });
+  auto out = Run(&cluster, &ctx);
+  killer.join();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Rows(*out), ReferenceRows());
+  EXPECT_GE(out->stats.fragment_retries, 1u);
+  EXPECT_GE(out->stats.workers_respawned, 1u);
+  EXPECT_GT(out->stats.recovery_ms, 0.0);
+
+  // The respawned rank keeps serving follow-up queries.
+  auto again = Run(&cluster, nullptr);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->stats.dist_workers, 2u);
+  EXPECT_EQ(again->stats.fragment_retries, 0u);
+  cluster.Stop();
+}
+
+TEST_F(DistFaultTest, ConsumerStageRetryReplaysBankedInputs) {
+  DistOptions dist = MakeDist(2);
+  dist.max_fragment_retries = 2;
+  dist.retry_backoff_ms = 25;
+  // Deterministic placement: kill one worker right before the first
+  // dispatch of the first non-leaf stage, so the retried consumer must
+  // get its shuffle inputs replayed from the dispatcher's spool (the
+  // producer stage already completed and is not re-run).
+  std::atomic<bool> killed{false};
+  dist.test_round_hook = [&](int stage_id, int attempt) {
+    if (stage_id == 0 || attempt != 0 || killed.exchange(true)) return;
+    std::vector<pid_t> pids = ChildWorkerPids();
+    ASSERT_FALSE(pids.empty());
+    kill(pids[0], SIGKILL);
+  };
+  Cluster cluster(dist);
+  auto out = Run(&cluster, nullptr);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(killed.load());
+  EXPECT_EQ(Rows(*out), ReferenceRows());
+  EXPECT_GE(out->stats.fragment_retries, 1u);
+  EXPECT_GE(out->stats.workers_respawned, 1u);
+  EXPECT_GE(out->stats.frames_replayed, 1u);
+  cluster.Stop();
+}
+
+TEST_F(DistFaultTest, RetryBudgetExhaustionYieldsWorkerLost) {
+  DistOptions dist = MakeDist(2);
+  dist.max_fragment_retries = 1;
+  dist.retry_backoff_ms = 25;
+  // Sabotage every attempt of the leaf stage, killing every worker so
+  // no rank can make progress: the first loss consumes the budget, the
+  // second fails the query. (Killing a single pid would not be
+  // deterministic — the budget is per stage, and a kill can land on an
+  // already-reaped zombie or a rank not participating in the retry.)
+  std::atomic<int> kills{0};
+  dist.test_round_hook = [&](int stage_id, int /*attempt*/) {
+    if (stage_id != 0) return;
+    for (pid_t pid : ChildWorkerPids()) {
+      kill(pid, SIGKILL);
+      ++kills;
+    }
+  };
+  Cluster cluster(dist);
+  auto out = Run(&cluster, nullptr);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kWorkerLost)
+      << out.status().ToString();
+  EXPECT_GE(kills.load(), 2);
+  cluster.Stop();
+}
+
 TEST_F(DistFaultTest, CancellationCrossesProcessBoundary) {
   Cluster cluster(MakeDist(2));
   FaultInjector faults;
@@ -206,6 +348,9 @@ TEST_F(DistFaultTest, ServiceReleasesAdmissionOnWorkerLoss) {
   options.dist = MakeDist(2);
   options.memory_budget_bytes = 64ull << 20;
   options.fault_injector = &faults;
+  // Surface kWorkerLost to the client instead of re-running in-process
+  // — this test asserts the strict failure path's admission hygiene.
+  options.dist_fallback_on_worker_loss = false;
   QueryService service(options);
   service.catalog()->RegisterCollection("/sensors", MakeData());
   auto session = service.CreateSession();
@@ -224,6 +369,33 @@ TEST_F(DistFaultTest, ServiceReleasesAdmissionOnWorkerLoss) {
   EXPECT_TRUE(ok.status().ok()) << ok.status().ToString();
   service.Drain();
   EXPECT_EQ(service.Metrics().admission.reserved_bytes, 0u);
+}
+
+TEST_F(DistFaultTest, ServiceFallsBackInProcessOnWorkerLoss) {
+  FaultInjector faults;
+  ServiceOptions options;
+  options.engine = options_;
+  options.dist = MakeDist(2);  // no retry budget: loss surfaces at once
+  options.memory_budget_bytes = 64ull << 20;
+  options.fault_injector = &faults;
+  ASSERT_TRUE(options.dist_fallback_on_worker_loss);  // the default
+  QueryService service(options);
+  service.catalog()->RegisterCollection("/sensors", MakeData());
+  auto session = service.CreateSession();
+
+  faults.ArmAfter(FaultInjector::kExchangeFrameDrop, 1,
+                  Status::IOError("injected frame drop"));
+  QueryTicket ticket = session->Submit(kQ1);
+  ASSERT_TRUE(ticket.status().ok()) << ticket.status().ToString();
+  EXPECT_EQ(Rows(ticket.output()), ReferenceRows());
+
+  service.Drain();
+  ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.distributed, 1u);
+  EXPECT_EQ(metrics.dist_fallbacks, 1u);
+  EXPECT_EQ(metrics.dist_worker_lost_fallbacks, 1u);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.admission.reserved_bytes, 0u);
 }
 
 TEST_F(DistFaultTest, StopReapsEveryWorkerProcess) {

@@ -261,6 +261,9 @@ TEST(WireTest, OversizedLengthRejected) {
   header.push_back(static_cast<char>(MsgType::kPing));
   uint32_t len = kMaxWirePayload + 1;
   header.append(reinterpret_cast<const char*>(&len), 4);
+  uint32_t crc = 0;  // never reached: the length check rejects first
+  header.append(reinterpret_cast<const char*>(&crc), 4);
+  ASSERT_EQ(header.size(), kWireHeaderBytes);
   ASSERT_TRUE(pair->first.SendAll(header.data(), header.size()).ok());
   WireMessage msg;
   auto got = ReadMessage(&pair->second, &msg);
@@ -278,6 +281,8 @@ TEST(WireTest, TruncatedPayloadRejected) {
   partial.push_back(static_cast<char>(MsgType::kInputFrame));
   uint32_t len = 64;
   partial.append(reinterpret_cast<const char*>(&len), 4);
+  uint32_t crc = 0;
+  partial.append(reinterpret_cast<const char*>(&crc), 4);
   partial.append(10, 'x');
   ASSERT_TRUE(pair->first.SendAll(partial.data(), partial.size()).ok());
   pair->first.Close();
@@ -285,6 +290,53 @@ TEST(WireTest, TruncatedPayloadRejected) {
   auto got = ReadMessage(&pair->second, &msg);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST(WireTest, ChecksumMismatchRejected) {
+  auto pair = Socket::Pair();
+  ASSERT_TRUE(pair.ok());
+  // A well-formed message whose payload was corrupted in flight: the
+  // header carries the CRC of the original payload, the bytes on the
+  // wire differ by one bit.
+  std::string payload = "structurally valid payload bytes";
+  std::string corrupted = payload;
+  corrupted[5] ^= 0x01;
+  std::string msg_bytes;
+  uint32_t magic = kWireMagic;
+  msg_bytes.append(reinterpret_cast<const char*>(&magic), 4);
+  msg_bytes.push_back(static_cast<char>(MsgType::kInputFrame));
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  msg_bytes.append(reinterpret_cast<const char*>(&len), 4);
+  uint32_t crc = WireCrc32(payload);
+  msg_bytes.append(reinterpret_cast<const char*>(&crc), 4);
+  msg_bytes.append(corrupted);
+  ASSERT_TRUE(pair->first.SendAll(msg_bytes.data(), msg_bytes.size()).ok());
+  WireMessage msg;
+  auto got = ReadMessage(&pair->second, &msg);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+  EXPECT_NE(got.status().message().find("checksum"), std::string::npos)
+      << got.status().ToString();
+
+  // The uncorrupted bytes round-trip fine.
+  auto pair2 = Socket::Pair();
+  ASSERT_TRUE(pair2.ok());
+  ASSERT_TRUE(WriteMessage(&pair2->first,
+                           static_cast<uint8_t>(MsgType::kInputFrame), payload)
+                  .ok());
+  auto ok = ReadMessage(&pair2->second, &msg);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(*ok);
+  EXPECT_EQ(msg.payload, payload);
+}
+
+TEST(WireTest, Crc32MatchesKnownVectors) {
+  // The standard CRC-32 (reflected, poly 0xEDB88320) check values.
+  EXPECT_EQ(WireCrc32(""), 0x00000000u);
+  EXPECT_EQ(WireCrc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(WireCrc32("a"), 0xE8B7BE43u);
+  // Sensitive to every bit: flipping one payload bit changes the sum.
+  EXPECT_NE(WireCrc32(std::string("ab")), WireCrc32(std::string("ac")));
 }
 
 TEST(WireTest, CleanEofReturnsFalse) {

@@ -5,11 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "json/binary_serde.h"
 #include "json/parser.h"
+#include "runtime/spill.h"
 
 namespace jpar {
 namespace {
@@ -613,6 +618,40 @@ TEST(ValidateExecOptionsTest, RejectsBadSpillKnobs) {
   std::remove(file_path.c_str());
   o.spill_dir = ::testing::TempDir();
   EXPECT_TRUE(ValidateExecOptions(o).ok()) << ValidateExecOptions(o).ToString();
+}
+
+TEST(SpillSweepTest, OrphanSweepRemovesOnlyDeadPidRunFiles) {
+  std::string dir = ::testing::TempDir() + "/jpar_sweep_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  // A pid guaranteed dead and reaped: fork a child that exits at once.
+  pid_t dead = fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) _exit(0);
+  ASSERT_EQ(waitpid(dead, nullptr, 0), dead);
+
+  auto touch = [&](const std::string& name) {
+    std::ofstream(dir + "/" + name) << "x";
+  };
+  const std::string orphan =
+      "jpar-spill-" + std::to_string(dead) + "-deadbeef-0.run";
+  const std::string live =
+      "jpar-spill-" + std::to_string(getpid()) + "-deadbeef-1.run";
+  touch(orphan);                  // dead owner: swept
+  touch(live);                    // live owner: kept
+  touch("jpar-spill-x-bad.run");  // non-numeric pid: kept
+  touch("unrelated.txt");         // not a spill run: kept
+
+  EXPECT_EQ(SweepOrphanedSpillFiles(dir), 1);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + orphan));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + live));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/jpar-spill-x-bad.run"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/unrelated.txt"));
+
+  // Idempotent: a second sweep finds nothing left to reclaim.
+  EXPECT_EQ(SweepOrphanedSpillFiles(dir), 0);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ValidateExecOptionsTest, ExecutorRunRejectsBadRobustnessKnobs) {
