@@ -3,11 +3,56 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
+
+#include "json/parser.h"
 
 namespace jparbench {
 
+namespace {
+// CLI overrides (InitBenchArgs); 0 = not set, fall back to the env.
+double g_scale_override = 0;
+int g_repeats_override = 0;
+}  // namespace
+
+void InitBenchArgs(int argc, char** argv) {
+  auto flag_value = [&](int* i, const char* flag) -> const char* {
+    size_t len = std::strlen(flag);
+    if (std::strncmp(argv[*i], flag, len) != 0) return nullptr;
+    if (argv[*i][len] == '=') return argv[*i] + len + 1;
+    if (argv[*i][len] == '\0' && *i + 1 < argc) return argv[++*i];
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(&i, "--scale")) {
+      double s = std::atof(v);
+      if (s <= 0) {
+        std::fprintf(stderr, "--scale must be > 0, got '%s'\n", v);
+        std::exit(2);
+      }
+      g_scale_override = s;
+    } else if (const char* v2 = flag_value(&i, "--repeats")) {
+      int r = std::atoi(v2);
+      if (r < 1) {
+        std::fprintf(stderr, "--repeats must be >= 1, got '%s'\n", v2);
+        std::exit(2);
+      }
+      g_repeats_override = r;
+    } else {
+      std::fprintf(stderr,
+                   "unknown bench flag '%s'\n"
+                   "usage: %s [--scale X] [--repeats N]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
 double ScaleFactor() {
+  if (g_scale_override > 0) return g_scale_override;
   static const double scale = [] {
     const char* env = std::getenv("JPAR_BENCH_SCALE");
     if (env == nullptr) return 1.0;
@@ -18,6 +63,7 @@ double ScaleFactor() {
 }
 
 int Repeats() {
+  if (g_repeats_override > 0) return g_repeats_override;
   static const int repeats = [] {
     const char* env = std::getenv("JPAR_BENCH_REPEATS");
     if (env == nullptr) return 3;
@@ -71,11 +117,13 @@ const Collection& SensorData(uint64_t base_bytes, int measurements_per_array,
 }
 
 Engine MakeSensorEngine(const Collection& data, RuleOptions rules,
-                        int partitions, int partitions_per_node) {
+                        int partitions, int partitions_per_node,
+                        ExprMode expr_mode) {
   EngineOptions options;
   options.rules = rules;
   options.exec.partitions = partitions;
   options.exec.partitions_per_node = partitions_per_node;
+  options.exec.expr_mode = expr_mode;
   // The paper's cluster interconnect is fast relative to its
   // disk-bound scans; model 10 Gbps so scaled-down datasets keep a
   // comparable compute:network ratio.
@@ -163,6 +211,36 @@ void CheckOk(const jpar::Status& status, const char* context) {
                  status.ToString().c_str());
     std::exit(1);
   }
+}
+
+void UpdateBenchJsonSection(const std::string& path,
+                            const std::string& section_name,
+                            const std::string& section_json) {
+  // Preserve every other section of the shared file; a corrupt or
+  // missing file degrades to a fresh single-section object.
+  std::vector<std::pair<std::string, std::string>> sections;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      auto doc = jpar::ParseJson(buf.str());
+      if (doc.ok() && doc->is_object()) {
+        for (const jpar::ObjectField& f : doc->object()) {
+          if (f.key == section_name) continue;
+          sections.emplace_back(f.key, f.value.ToJsonString());
+        }
+      }
+    }
+  }
+  sections.emplace_back(section_name, section_json);
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": " << sections[i].second;
+    out << (i + 1 < sections.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
 }
 
 }  // namespace jparbench

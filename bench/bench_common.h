@@ -22,9 +22,16 @@ namespace jparbench {
 using jpar::Collection;
 using jpar::Engine;
 using jpar::EngineOptions;
+using jpar::ExprMode;
 using jpar::QueryOutput;
 using jpar::RuleOptions;
 using jpar::SensorDataSpec;
+
+/// Parses bench command-line flags, overriding the corresponding env
+/// vars: `--scale X` / `--scale=X` (JPAR_BENCH_SCALE) and `--repeats N`
+/// (JPAR_BENCH_REPEATS). Call first in main; unknown flags abort with a
+/// usage message so typos don't silently run at default scale.
+void InitBenchArgs(int argc, char** argv);
 
 /// Global dataset scale factor from JPAR_BENCH_SCALE (default 1.0).
 double ScaleFactor();
@@ -42,7 +49,8 @@ const Collection& SensorData(uint64_t base_bytes,
 /// An engine with the given rule configuration and parallelism, with
 /// the sensor collection registered as "/sensors".
 Engine MakeSensorEngine(const Collection& data, RuleOptions rules,
-                        int partitions = 1, int partitions_per_node = 4);
+                        int partitions = 1, int partitions_per_node = 4,
+                        ExprMode expr_mode = ExprMode::kAuto);
 
 /// Result of a repeated measurement.
 struct Measurement {
@@ -72,6 +80,15 @@ std::string FormatBytes(uint64_t bytes);
 /// Fails the process with a message when a bench hits an error (benches
 /// are not tests, but must not silently print garbage).
 void CheckOk(const jpar::Status& status, const char* context);
+
+/// Read-modify-writes one section of a shared JSON results file: the
+/// file holds a single top-level object, `section_json` (a complete
+/// JSON value) replaces or appends the `section_name` key, and every
+/// other key is preserved. Lets several bench binaries accumulate into
+/// one artifact (e.g. BENCH_expr_bytecode.json).
+void UpdateBenchJsonSection(const std::string& path,
+                            const std::string& section_name,
+                            const std::string& section_json);
 
 }  // namespace jparbench
 

@@ -33,12 +33,49 @@ void Run() {
   std::printf(
       "\n(buffer = bytes materialized between operators; the paper's\n"
       " stated mechanism: the rules avoid large sequences in buffers.)\n");
+
+  // Legacy tuple-at-a-time tree interpretation vs. batch-at-a-time
+  // compiled bytecode (DESIGN.md §13) on the same queries. Pipelining
+  // rules are enabled here too: vectorization engages on DATASCAN
+  // pipelines, and path-rule-only plans read the collection as one
+  // scalar sequence (no per-tuple stream to batch). Selection- and
+  // projection-heavy queries are where it pays; the per-query ratios
+  // land in BENCH_expr_bytecode.json.
+  RuleOptions piped = after;
+  piped.pipelining_rules = true;
+  PrintTableHeader(
+      "Figure 13 queries: expression tree vs. compiled bytecode",
+      {"query", "tree", "bytecode", "speedup"});
+  std::string json = "{";
+  for (const NamedQuery& q : kAllQueries) {
+    Engine et = MakeSensorEngine(data, piped, 1, 4, ExprMode::kTree);
+    Engine eb2 = MakeSensorEngine(data, piped, 1, 4, ExprMode::kBytecode);
+    Measurement mt = RunQuery(et, q.text);
+    Measurement mb2 = RunQuery(eb2, q.text);
+    double ratio = mt.real_ms / (mb2.real_ms > 0 ? mb2.real_ms : 1);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", ratio);
+    PrintTableRow({q.name, FormatMs(mt.real_ms), FormatMs(mb2.real_ms),
+                   speedup});
+    char entry[160];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\"%s\": {\"tree_ms\": %.3f, \"bytecode_ms\": %.3f, "
+                  "\"speedup\": %.3f}",
+                  json.size() > 1 ? ", " : "", q.name, mt.real_ms,
+                  mb2.real_ms, ratio);
+    json += entry;
+  }
+  json += "}";
+  UpdateBenchJsonSection("BENCH_expr_bytecode.json", "fig13_path_rules",
+                         json);
+  std::printf("\nwrote fig13_path_rules into BENCH_expr_bytecode.json\n");
 }
 
 }  // namespace
 }  // namespace jparbench
 
-int main() {
+int main(int argc, char** argv) {
+  jparbench::InitBenchArgs(argc, argv);
   jparbench::Run();
   return 0;
 }

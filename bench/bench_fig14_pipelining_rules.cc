@@ -34,12 +34,44 @@ void Run() {
                    speedup, FormatBytes(mb.peak_bytes),
                    FormatBytes(ma.peak_bytes)});
   }
+
+  // Fully pipelined plans, legacy tuple-at-a-time tree interpretation
+  // vs. batch-at-a-time compiled bytecode (DESIGN.md §13). These are
+  // the post-rewrite plans real runs use, so this is the end-to-end
+  // vectorization win; ratios land in BENCH_expr_bytecode.json.
+  PrintTableHeader(
+      "Figure 14 queries: expression tree vs. compiled bytecode",
+      {"query", "tree", "bytecode", "speedup"});
+  std::string json = "{";
+  for (const NamedQuery& q : kAllQueries) {
+    Engine et = MakeSensorEngine(data, after, 1, 4, ExprMode::kTree);
+    Engine eb2 = MakeSensorEngine(data, after, 1, 4, ExprMode::kBytecode);
+    Measurement mt = RunQuery(et, q.text);
+    Measurement mb2 = RunQuery(eb2, q.text);
+    double ratio = mt.real_ms / (mb2.real_ms > 0 ? mb2.real_ms : 1);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", ratio);
+    PrintTableRow({q.name, FormatMs(mt.real_ms), FormatMs(mb2.real_ms),
+                   speedup});
+    char entry[160];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\"%s\": {\"tree_ms\": %.3f, \"bytecode_ms\": %.3f, "
+                  "\"speedup\": %.3f}",
+                  json.size() > 1 ? ", " : "", q.name, mt.real_ms,
+                  mb2.real_ms, ratio);
+    json += entry;
+  }
+  json += "}";
+  UpdateBenchJsonSection("BENCH_expr_bytecode.json",
+                         "fig14_pipelining_rules", json);
+  std::printf("\nwrote fig14_pipelining_rules into BENCH_expr_bytecode.json\n");
 }
 
 }  // namespace
 }  // namespace jparbench
 
-int main() {
+int main(int argc, char** argv) {
+  jparbench::InitBenchArgs(argc, argv);
   jparbench::Run();
   return 0;
 }

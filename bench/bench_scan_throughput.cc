@@ -282,7 +282,8 @@ void Run() {
 }  // namespace
 }  // namespace jparbench
 
-int main() {
+int main(int argc, char** argv) {
+  jparbench::InitBenchArgs(argc, argv);
   jparbench::Run();
   return 0;
 }

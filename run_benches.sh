@@ -1,10 +1,28 @@
 #!/bin/sh
 # Runs every bench binary, appending to bench_output.txt. Pass a start
-# index to resume. bench_scan_throughput additionally writes
-# BENCH_scan_throughput.json (scan GB/s per kernel + morsel scaling)
-# into the repo root so the perf trajectory is machine-readable.
+# index to resume, and/or --scale X to grow every dataset (e.g.
+# `./run_benches.sh --scale 1000` runs bench_scan_throughput and
+# bench_fig17 over multi-GB sensor data). bench_scan_throughput
+# additionally writes BENCH_scan_throughput.json (scan GB/s per kernel +
+# morsel scaling) into the repo root so the perf trajectory is
+# machine-readable.
 set -u
-start=${1:-0}
+start=0
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --scale)
+      shift
+      JPAR_BENCH_SCALE="$1" && export JPAR_BENCH_SCALE
+      ;;
+    --scale=*)
+      JPAR_BENCH_SCALE="${1#--scale=}" && export JPAR_BENCH_SCALE
+      ;;
+    *)
+      start="$1"
+      ;;
+  esac
+  shift
+done
 # Quick gate before burning bench time: the fast tier-1 suite must be
 # green (the stress/randomized labels are CI's job, not this script's).
 if [ -d build ] && [ "${start}" -eq 0 ]; then
@@ -38,4 +56,6 @@ done
   echo "distributed cluster record: BENCH_dist_cluster.json"
 [ -f BENCH_dist_recovery.json ] && \
   echo "distributed recovery record: BENCH_dist_recovery.json"
+[ -f BENCH_expr_bytecode.json ] && \
+  echo "expression bytecode record: BENCH_expr_bytecode.json"
 exit 0

@@ -70,10 +70,22 @@ class Translator {
     PhysicalPlan out;
     out.root = body.node;
     out.result_column = col;
+    out.exprs_compiled = exprs_compiled_;
     return out;
   }
 
  private:
+  /// Attaches flat bytecode to a main-pipeline ASSIGN/SELECT when
+  /// compilation is on and the tree is compilable. Subplan ops are left
+  /// alone: the batch chain runs subplan suffixes through the tuple
+  /// fallback, so counting them would overstate `exprs_compiled`.
+  UnaryOpDesc MaybeCompile(UnaryOpDesc d) {
+    if (!options_.compile_expr_bytecode) return d;
+    d.program = CompileExprProgram(d.eval);
+    if (d.program != nullptr) ++exprs_compiled_;
+    return d;
+  }
+
   /// Returns `ns` if its node is an extensible pipeline, otherwise wraps
   /// it in a fresh pipeline stage.
   NodeAndSchema AsPipeline(NodeAndSchema ns) {
@@ -134,10 +146,10 @@ class Translator {
         JPAR_ASSIGN_OR_RETURN(ScalarEvalPtr ev,
                               CompileExpr(op->expr, ns.schema));
         if (op->kind == LOpKind::kAssign) {
-          ns.node->ops.push_back(UnaryOpDesc::Assign(std::move(ev)));
+          ns.node->ops.push_back(MaybeCompile(UnaryOpDesc::Assign(std::move(ev))));
           ns.schema.push_back(op->out_var);
         } else if (op->kind == LOpKind::kSelect) {
-          ns.node->ops.push_back(UnaryOpDesc::Select(std::move(ev)));
+          ns.node->ops.push_back(MaybeCompile(UnaryOpDesc::Select(std::move(ev))));
         } else {
           ns.node->ops.push_back(UnaryOpDesc::Unnest(std::move(ev)));
           ns.schema.push_back(op->out_var);
@@ -315,6 +327,7 @@ class Translator {
   }
 
   PhysicalOptions options_;
+  uint64_t exprs_compiled_ = 0;
 };
 
 }  // namespace

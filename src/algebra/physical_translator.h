@@ -14,6 +14,11 @@ struct PhysicalOptions {
   /// with incremental aggregate functions pre-aggregate per partition
   /// and merge globally (paper §4.3, "partitioned computation").
   bool two_step_aggregation = true;
+  /// Compile ASSIGN/SELECT expression trees to flat postfix bytecode
+  /// (DESIGN.md §13) so the executor's batch pipelines can run them
+  /// vectorized. Off when the engine runs in ExprMode::kTree or the
+  /// JPAR_DISABLE_EXPR_BYTECODE env kill-switch is set.
+  bool compile_expr_bytecode = true;
 };
 
 /// Lowers an optimized logical plan to the executor's physical plan:

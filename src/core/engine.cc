@@ -29,6 +29,10 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
 
   PhysicalOptions popts;
   popts.two_step_aggregation = rules.two_step_aggregation;
+  // No point paying compilation (or carrying programs into the plan
+  // cache) when the engine will never run them.
+  popts.compile_expr_bytecode = options_.exec.expr_mode != ExprMode::kTree &&
+                                !ExprBytecodeDisabledByEnv();
   JPAR_ASSIGN_OR_RETURN(compiled.physical, TranslateToPhysical(plan, popts));
   compiled.logical = std::move(plan);
   return compiled;

@@ -153,6 +153,8 @@ void EncodeExecOptions(const ExecOptions& exec, std::string* out) {
   out->push_back(static_cast<char>(exec.scan_mode));
   PutVarint(exec.morsel_bytes, out);
   out->push_back(exec.cooperative_checks ? 1 : 0);
+  out->push_back(static_cast<char>(exec.expr_mode));
+  PutVarint(exec.batch_size, out);
 }
 
 Status DecodeExecOptions(PayloadReader* r, ExecOptions* out) {
@@ -183,6 +185,10 @@ Status DecodeExecOptions(PayloadReader* r, ExecOptions* out) {
   out->morsel_bytes = static_cast<size_t>(morsel_bytes);
   JPAR_ASSIGN_OR_RETURN(uint8_t coop, r->Byte());
   out->cooperative_checks = coop != 0;
+  JPAR_ASSIGN_OR_RETURN(uint8_t expr_mode, r->Byte());
+  out->expr_mode = static_cast<ExprMode>(expr_mode);
+  JPAR_ASSIGN_OR_RETURN(uint64_t batch_size, r->Varint());
+  out->batch_size = static_cast<size_t>(batch_size);
   return Status::OK();
 }
 
@@ -245,6 +251,8 @@ void EncodeExecStats(const ExecStats& stats, std::string* out) {
   PutVarint(stats.frames_replayed, out);
   PutVarint(stats.replay_spill_bytes, out);
   PutDouble(stats.recovery_ms, out);
+  PutVarint(stats.batches_emitted, out);
+  PutVarint(stats.exprs_compiled, out);
 }
 
 Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
@@ -291,6 +299,8 @@ Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
   JPAR_ASSIGN_OR_RETURN(out->frames_replayed, r->Varint());
   JPAR_ASSIGN_OR_RETURN(out->replay_spill_bytes, r->Varint());
   JPAR_ASSIGN_OR_RETURN(out->recovery_ms, r->Double());
+  JPAR_ASSIGN_OR_RETURN(out->batches_emitted, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->exprs_compiled, r->Varint());
   return Status::OK();
 }
 

@@ -29,6 +29,81 @@ double ElapsedMs(Clock::time_point start) {
 
 std::string IndentStr(int n) { return std::string(static_cast<size_t>(n), ' '); }
 
+/// Batch-at-a-time pipeline driver (DESIGN.md §13): accumulates scan
+/// items / input tuples into a TupleBatch and runs the whole op chain
+/// per batch via RunBatchChain. Survivors are materialized once at the
+/// pipeline boundary, where one frame serialization per emitted tuple
+/// is charged (the pipeline's real output write) — the per-operator
+/// boundary charges of the tuple path are exactly the work
+/// vectorization removes, so the driver's EvalContext runs with
+/// charge_boundaries off.
+class BatchPipe {
+ public:
+  BatchPipe(const std::vector<UnaryOpDesc>* ops, EvalContext* ctx,
+            size_t capacity, std::function<Status()> check_fn,
+            std::vector<Tuple>* out, uint64_t* batches)
+      : ops_(ops),
+        ctx_(ctx),
+        out_(out),
+        batches_(batches),
+        check_(std::move(check_fn)),
+        batch_(capacity) {
+    sink_ = [this](TupleBatch& b) -> Status { return Emit(b); };
+  }
+
+  Status PushItem(Item item) {
+    EnsureWidth(1);
+    batch_.AppendRow(std::move(item));
+    return batch_.full() ? Flush() : Status::OK();
+  }
+
+  Status PushTuple(Tuple t) {
+    EnsureWidth(t.size());
+    batch_.AppendTuple(std::move(t));
+    return batch_.full() ? Flush() : Status::OK();
+  }
+
+  Status Finish() { return batch_.empty() ? Status::OK() : Flush(); }
+
+ private:
+  void EnsureWidth(size_t width) {
+    if (width_ != width) {
+      width_ = width;
+      batch_.Reset(width);
+    }
+  }
+
+  Status Flush() {
+    JPAR_RETURN_NOT_OK(RunBatchChain(*ops_, &batch_, ctx_,
+                                     /*use_bytecode=*/true, &check_, sink_));
+    batch_.Reset(width_);
+    return Status::OK();
+  }
+
+  Status Emit(TupleBatch& b) {
+    for (uint32_t row : b.selection()) {
+      Tuple t = b.MaterializeRow(row);
+      ctx_->frame_scratch.clear();
+      size_t encoded = AppendTupleTo(t, &ctx_->frame_scratch);
+      ctx_->boundary_bytes += encoded;
+      ++ctx_->boundary_tuples;
+      if (encoded > ctx_->max_tuple_bytes) ctx_->max_tuple_bytes = encoded;
+      out_->push_back(std::move(t));
+    }
+    ++*batches_;
+    return Status::OK();
+  }
+
+  const std::vector<UnaryOpDesc>* ops_;
+  EvalContext* ctx_;
+  std::vector<Tuple>* out_;
+  uint64_t* batches_;
+  EvalCheck check_;
+  TupleBatch batch_;
+  size_t width_ = 0;
+  BatchSink sink_;
+};
+
 /// Encodes the grouping/join key of a tuple under `key_evals`.
 Status EncodeKey(const std::vector<ScalarEvalPtr>& key_evals,
                  const Tuple& tuple, EvalContext* ctx, std::string* encoded,
@@ -478,19 +553,33 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
   std::vector<uint64_t> task_boundary_bytes(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_max_tuple(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_skipped(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_batches(static_cast<size_t>(pcount), 0);
   const bool lenient_scan =
       options_.on_parse_error == ParseErrorPolicy::kSkipAndCount;
+  // EMPTY-TUPLE-SOURCE pipelines emit one seed tuple; they keep the
+  // tuple path (and its exact boundary accounting) in every mode.
+  const bool batch_mode =
+      UseBatchMode() &&
+      !(leaf && node.scan.kind == ScanDesc::Kind::kEmptyTupleSource);
 
   auto run_task = [&](int p) {
     auto start = Clock::now();
     EvalContext ctx;
     ctx.catalog = catalog_;
     ctx.memory = &memory;
+    ctx.charge_boundaries = !batch_mode;
     std::vector<Tuple>& out = output.parts[static_cast<size_t>(p)];
     TupleSink sink = [&out](Tuple t) -> Status {
       out.push_back(std::move(t));
       return Status::OK();
     };
+    std::unique_ptr<BatchPipe> pipe;
+    if (batch_mode) {
+      pipe = std::make_unique<BatchPipe>(
+          &node.ops, &ctx, options_.batch_size,
+          [this]() { return Interrupted("pipeline"); }, &out,
+          &task_batches[static_cast<size_t>(p)]);
+    }
     // One huge NDJSON file is a single partition task: poll the
     // lifecycle every kCheckIntervalTuples emitted items, not only at
     // file boundaries.
@@ -529,6 +618,9 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
           st = NavigateItemPath(*doc, node.scan.steps, 0,
                                 [&](Item item) -> Status {
                                   JPAR_RETURN_NOT_OK(item_check());
+                                  if (pipe != nullptr) {
+                                    return pipe->PushItem(std::move(item));
+                                  }
                                   return RunChain(node.ops, 0,
                                                   Tuple{std::move(item)},
                                                   &ctx, sink);
@@ -550,6 +642,7 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
             *text, node.scan.steps,
             [&](Item item) -> Status {
               JPAR_RETURN_NOT_OK(item_check());
+              if (pipe != nullptr) return pipe->PushItem(std::move(item));
               return RunChain(node.ops, 0, Tuple{std::move(item)}, &ctx,
                               sink);
             },
@@ -567,11 +660,13 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
           st = Interrupted("pipeline");
           if (!st.ok()) break;
         }
-        st = RunChain(node.ops, 0, std::move(t), &ctx, sink);
+        st = pipe != nullptr ? pipe->PushTuple(std::move(t))
+                             : RunChain(node.ops, 0, std::move(t), &ctx, sink);
         if (!st.ok()) break;
       }
       input.parts[static_cast<size_t>(p)].clear();
     }
+    if (st.ok() && pipe != nullptr) st = pipe->Finish();
     task_status[static_cast<size_t>(p)] = st;
     task_bytes[static_cast<size_t>(p)] += ctx.bytes_parsed;
     task_boundary_bytes[static_cast<size_t>(p)] = ctx.boundary_bytes;
@@ -593,6 +688,7 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
     stats->bytes_scanned += task_bytes[static_cast<size_t>(p)];
     stats->items_scanned += task_items[static_cast<size_t>(p)];
     stats->skipped_records += task_skipped[static_cast<size_t>(p)];
+    stats->batches_emitted += task_batches[static_cast<size_t>(p)];
     stage.pipeline_bytes += task_boundary_bytes[static_cast<size_t>(p)];
     if (task_max_tuple[static_cast<size_t>(p)] > stage.max_tuple_bytes) {
       stage.max_tuple_bytes = task_max_tuple[static_cast<size_t>(p)];
@@ -634,6 +730,7 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     uint64_t boundary_bytes = 0;
     uint64_t max_tuple = 0;
     uint64_t skipped = 0;
+    uint64_t batches = 0;
     bool ran = false;
   };
 
@@ -706,6 +803,7 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
   std::atomic<size_t> next_task{0};
   std::atomic<bool> abort{false};
 
+  const bool batch_mode = UseBatchMode();
   auto run_morsel = [&](const Morsel& m, Slot* slot) {
     slot->ran = true;
     Status st = Interrupted("pipeline scan");
@@ -713,14 +811,23 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
       EvalContext ctx;
       ctx.catalog = catalog_;
       ctx.memory = &memory;
+      ctx.charge_boundaries = !batch_mode;
       TupleSink sink = [slot](Tuple t) -> Status {
         slot->out.push_back(std::move(t));
         return Status::OK();
       };
+      std::unique_ptr<BatchPipe> pipe;
+      if (batch_mode) {
+        pipe = std::make_unique<BatchPipe>(
+            &node.ops, &ctx, options_.batch_size,
+            [this]() { return Interrupted("pipeline"); }, &slot->out,
+            &slot->batches);
+      }
       auto emit = [&](Item item) -> Status {
         if (++slot->items % kCheckIntervalTuples == 0) {
           JPAR_RETURN_NOT_OK(Interrupted("pipeline"));
         }
+        if (pipe != nullptr) return pipe->PushItem(std::move(item));
         return RunChain(node.ops, 0, Tuple{std::move(item)}, &ctx, sink);
       };
       if (m.binary != nullptr) {
@@ -736,6 +843,7 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
                                lenient ? &slot->skipped : nullptr,
                                options_.scan_mode);
       }
+      if (st.ok() && pipe != nullptr) st = pipe->Finish();
       slot->bytes += ctx.bytes_parsed;
       slot->boundary_bytes = ctx.boundary_bytes;
       slot->max_tuple = ctx.max_tuple_bytes;
@@ -828,6 +936,7 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     stats->bytes_scanned += slot.bytes;
     stats->items_scanned += slot.items;
     stats->skipped_records += slot.skipped;
+    stats->batches_emitted += slot.batches;
     if (slot.ran) ++stats->morsels_scanned;
     stage.pipeline_bytes += slot.boundary_bytes;
     if (slot.max_tuple > stage.max_tuple_bytes) {
@@ -1582,18 +1691,33 @@ Result<std::vector<Tuple>> Executor::RunOps(
   EvalContext ctx;
   ctx.catalog = catalog_;
   ctx.memory = &memory;
+  const bool batch_mode = UseBatchMode();
+  ctx.charge_boundaries = !batch_mode;
   std::vector<Tuple> out;
   TupleSink sink = [&out](Tuple t) -> Status {
     out.push_back(std::move(t));
     return Status::OK();
   };
+  uint64_t batches = 0;
+  std::unique_ptr<BatchPipe> pipe;
+  if (batch_mode) {
+    pipe = std::make_unique<BatchPipe>(
+        &ops, &ctx, options_.batch_size,
+        [this]() { return Interrupted("pipeline"); }, &out, &batches);
+  }
   uint64_t processed = 0;
   for (Tuple& t : input) {
     if (++processed % kCheckIntervalTuples == 0) {
       JPAR_RETURN_NOT_OK(Interrupted("pipeline"));
     }
-    JPAR_RETURN_NOT_OK(RunChain(ops, 0, std::move(t), &ctx, sink));
+    if (pipe != nullptr) {
+      JPAR_RETURN_NOT_OK(pipe->PushTuple(std::move(t)));
+    } else {
+      JPAR_RETURN_NOT_OK(RunChain(ops, 0, std::move(t), &ctx, sink));
+    }
   }
+  if (pipe != nullptr) JPAR_RETURN_NOT_OK(pipe->Finish());
+  stats->batches_emitted += batches;
   stage.pipeline_bytes += ctx.boundary_bytes;
   if (ctx.max_tuple_bytes > stage.max_tuple_bytes) {
     stage.max_tuple_bytes = ctx.max_tuple_bytes;
@@ -1668,6 +1792,20 @@ Status ValidateExecOptions(const ExecOptions& options) {
         "unknown spill mode: " +
         std::to_string(static_cast<int>(options.spill)));
   }
+  if (options.expr_mode != ExprMode::kAuto &&
+      options.expr_mode != ExprMode::kTree &&
+      options.expr_mode != ExprMode::kBytecode) {
+    return Status::InvalidArgument(
+        "unknown expr_mode: " +
+        std::to_string(static_cast<int>(options.expr_mode)));
+  }
+  if (options.batch_size < 1 || options.batch_size > 65536) {
+    // Batches above 64Ki tuples gain nothing (cancellation checks tick
+    // every 256 lanes regardless) and risk oversized scratch columns.
+    return Status::InvalidArgument(
+        "batch_size must be in [1, 65536], got " +
+        std::to_string(options.batch_size));
+  }
   if (options.spill == SpillMode::kEnabled) {
     if (options.spill_fanout < 2) {
       return Status::InvalidArgument(
@@ -1705,6 +1843,7 @@ Result<QueryOutput> Executor::Run(const PhysicalPlan& plan) const {
     }
   }
   out.stats.result_rows = out.items.size();
+  out.stats.exprs_compiled = UseBatchMode() ? plan.exprs_compiled : 0;
   out.stats.real_ms = ElapsedMs(start);
   int nodes = (options_.partitions + options_.partitions_per_node - 1) /
               (options_.partitions_per_node > 0 ? options_.partitions_per_node

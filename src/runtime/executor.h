@@ -75,6 +75,10 @@ struct PNode {
 struct PhysicalPlan {
   PNodePtr root;
   int result_column = 0;
+  /// ASSIGN/SELECT expressions the translator compiled to bytecode
+  /// (DESIGN.md §13); surfaces as ExecStats::exprs_compiled when the
+  /// executor actually runs them vectorized.
+  uint64_t exprs_compiled = 0;
 
   std::string ToString() const;
 };
@@ -94,6 +98,18 @@ enum class SpillMode : uint8_t {
   /// cannot spill (join build sides, materialized sequences) overrun
   /// the budget softly instead of failing.
   kEnabled = 1,
+};
+
+/// How pipelines evaluate ASSIGN/SELECT expressions (DESIGN.md §13).
+enum class ExprMode : uint8_t {
+  /// Batch-at-a-time with compiled bytecode, unless the
+  /// JPAR_DISABLE_EXPR_BYTECODE environment variable forces the legacy
+  /// path (the swar-fallback-style CI escape hatch). The default.
+  kAuto = 0,
+  /// Legacy tuple-at-a-time tree interpretation, always.
+  kTree = 1,
+  /// Batch-at-a-time with bytecode, ignoring the environment override.
+  kBytecode = 2,
 };
 
 /// What a DATASCAN does when a collection record fails to parse.
@@ -162,6 +178,14 @@ struct ExecOptions {
   /// granularity. On by default; turning them off exists only so
   /// bench_service_throughput can measure their cost.
   bool cooperative_checks = true;
+  /// ASSIGN/SELECT evaluation strategy (see ExprMode).
+  ExprMode expr_mode = ExprMode::kAuto;
+  /// Tuples per pipeline batch in vectorized mode. Any size keeps the
+  /// every-256-tuples cancellation guarantee — checks are threaded
+  /// through the batch kernels at kCheckIntervalTuples lane granularity
+  /// — but ValidateExecOptions caps it at 65536 so a typo cannot turn
+  /// batches into whole-partition materialization.
+  size_t batch_size = TupleBatch::kDefaultCapacity;
 };
 
 /// Checks an ExecOptions for values that would make execution
@@ -292,6 +316,21 @@ class Executor {
     return p / (options_.partitions_per_node > 0
                     ? options_.partitions_per_node
                     : 1);
+  }
+
+  /// True when pipelines run batch-at-a-time (DESIGN.md §13): forced by
+  /// expr_mode, defaulted on under kAuto unless the environment
+  /// override disables it.
+  bool UseBatchMode() const {
+    switch (options_.expr_mode) {
+      case ExprMode::kTree:
+        return false;
+      case ExprMode::kBytecode:
+        return true;
+      case ExprMode::kAuto:
+        break;
+    }
+    return !ExprBytecodeDisabledByEnv();
   }
 
   /// The cooperative cancellation/deadline poll; OK without a context.

@@ -31,6 +31,8 @@ class ConstantEval : public ScalarEval {
     return value_;
   }
   std::string ToString() const override { return value_.ToJsonString(); }
+  Shape shape() const override { return Shape::kConstant; }
+  const Item* shape_constant() const override { return &value_; }
 
  private:
   Item value_;
@@ -50,6 +52,8 @@ class ColumnEval : public ScalarEval {
   std::string ToString() const override {
     return "$col" + std::to_string(column_);
   }
+  Shape shape() const override { return Shape::kColumn; }
+  int shape_column() const override { return column_; }
 
  private:
   int column_;
@@ -340,6 +344,11 @@ class FunctionEval : public ScalarEval {
     out.push_back(')');
     return out;
   }
+  Shape shape() const override { return Shape::kFunction; }
+  Builtin shape_function() const override { return fn_; }
+  const std::vector<ScalarEvalPtr>* shape_args() const override {
+    return &args_;
+  }
 
  private:
   Builtin fn_;
@@ -403,8 +412,22 @@ Result<Item> FunctionEval::Eval(const Tuple& tuple, EvalContext* ctx) const {
     JPAR_ASSIGN_OR_RETURN(Item v, arg->Eval(tuple, ctx));
     vals.push_back(std::move(v));
   }
+  return ApplyBuiltin(fn_, vals, ctx);
+}
 
-  switch (fn_) {
+}  // namespace
+
+Result<Item> GeneralCompareOp(Builtin fn, const Item& lhs, const Item& rhs) {
+  return GeneralCompare(fn, lhs, rhs);
+}
+
+Result<Item> ArithmeticOp(Builtin fn, const Item& lhs, const Item& rhs) {
+  return Arithmetic(fn, lhs, rhs);
+}
+
+Result<Item> ApplyBuiltin(Builtin fn, std::vector<Item>& vals,
+                          EvalContext* ctx) {
+  switch (fn) {
     case Builtin::kValue:
       return ValueStep(vals[0], vals[1]);
     case Builtin::kKeysOrMembers:
@@ -434,14 +457,14 @@ Result<Item> FunctionEval::Eval(const Tuple& tuple, EvalContext* ctx) const {
     case Builtin::kYearFromDateTime:
     case Builtin::kMonthFromDateTime:
     case Builtin::kDayFromDateTime:
-      return DateTimeComponent(fn_, vals[0]);
+      return DateTimeComponent(fn, vals[0]);
     case Builtin::kEq:
     case Builtin::kNe:
     case Builtin::kLt:
     case Builtin::kLe:
     case Builtin::kGt:
     case Builtin::kGe:
-      return GeneralCompare(fn_, vals[0], vals[1]);
+      return GeneralCompare(fn, vals[0], vals[1]);
     case Builtin::kNot: {
       JPAR_ASSIGN_OR_RETURN(bool b, vals[0].EffectiveBooleanValue());
       return Item::Boolean(!b);
@@ -451,7 +474,7 @@ Result<Item> FunctionEval::Eval(const Tuple& tuple, EvalContext* ctx) const {
     case Builtin::kMul:
     case Builtin::kDiv:
     case Builtin::kMod:
-      return Arithmetic(fn_, vals[0], vals[1]);
+      return Arithmetic(fn, vals[0], vals[1]);
     case Builtin::kNeg: {
       if (vals[0].is_int64()) return Item::Int64(-vals[0].int64_value());
       JPAR_ASSIGN_OR_RETURN(double d, RequireNumeric(vals[0], "unary minus"));
@@ -462,7 +485,7 @@ Result<Item> FunctionEval::Eval(const Tuple& tuple, EvalContext* ctx) const {
     case Builtin::kAvg:
     case Builtin::kMin:
     case Builtin::kMax:
-      return ScalarAggregate(fn_, vals[0]);
+      return ScalarAggregate(fn, vals[0]);
     case Builtin::kCollection: {
       if (!vals[0].is_string()) {
         return Status::TypeError("collection() requires a string name");
@@ -518,12 +541,12 @@ Result<Item> FunctionEval::Eval(const Tuple& tuple, EvalContext* ctx) const {
     case Builtin::kUpperCase:
     case Builtin::kLowerCase:
     case Builtin::kStringFn:
-      return StringFunction(fn_, vals);
+      return StringFunction(fn, vals);
     case Builtin::kAbs:
     case Builtin::kRound:
     case Builtin::kFloor:
     case Builtin::kCeiling:
-      return NumericFunction(fn_, vals[0]);
+      return NumericFunction(fn, vals[0]);
     case Builtin::kEmpty:
       return Item::Boolean(vals[0].SequenceLength() == 0);
     case Builtin::kExists:
@@ -552,12 +575,11 @@ Result<Item> FunctionEval::Eval(const Tuple& tuple, EvalContext* ctx) const {
     }
     case Builtin::kAnd:
     case Builtin::kOr:
-      break;  // handled above
+      // Lazy connectives are evaluated by the interpreters themselves.
+      return Status::Internal("lazy builtin passed to ApplyBuiltin");
   }
-  return Status::Internal("unhandled builtin in FunctionEval");
+  return Status::Internal("unhandled builtin in ApplyBuiltin");
 }
-
-}  // namespace
 
 std::string_view BuiltinToString(Builtin fn) {
   switch (fn) {

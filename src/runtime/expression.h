@@ -105,17 +105,36 @@ struct EvalContext {
   uint64_t max_tuple_bytes = 0;
 };
 
+class ScalarEval;
+using ScalarEvalPtr = std::shared_ptr<const ScalarEval>;
+
 /// A compiled scalar expression evaluated against one tuple. Thread-safe
 /// once constructed (no mutable state); shared between partitions.
 class ScalarEval {
  public:
+  /// Structural introspection for the bytecode compiler
+  /// (runtime/expr_compile.*): a node advertises its shape so the
+  /// compiler can flatten the tree without knowing the concrete types.
+  /// kOpaque means "not compilable" — the whole expression then stays
+  /// on the legacy tree interpreter.
+  enum class Shape : uint8_t { kConstant, kColumn, kFunction, kOpaque };
+
   virtual ~ScalarEval() = default;
   virtual Result<Item> Eval(const Tuple& tuple, EvalContext* ctx) const = 0;
   /// Human-readable form for plan printing and tests.
   virtual std::string ToString() const = 0;
-};
 
-using ScalarEvalPtr = std::shared_ptr<const ScalarEval>;
+  virtual Shape shape() const { return Shape::kOpaque; }
+  /// Valid iff shape() == kConstant.
+  virtual const Item* shape_constant() const { return nullptr; }
+  /// Valid iff shape() == kColumn.
+  virtual int shape_column() const { return -1; }
+  /// Valid iff shape() == kFunction.
+  virtual Builtin shape_function() const { return Builtin::kValue; }
+  virtual const std::vector<ScalarEvalPtr>* shape_args() const {
+    return nullptr;
+  }
+};
 
 ScalarEvalPtr MakeConstantEval(Item value);
 ScalarEvalPtr MakeColumnEval(int column);
@@ -134,6 +153,22 @@ Result<Item> KeysOrMembersStep(const Item& target);
 
 /// Scalar aggregate over a (possibly single-item) sequence.
 Result<Item> ScalarAggregate(Builtin fn, const Item& sequence);
+
+/// Applies an eager builtin to already-evaluated arguments — the body of
+/// the tree interpreter after argument evaluation, shared with the
+/// vectorized bytecode interpreter so both paths are one implementation.
+/// `vals` may be consumed (moved from). The lazy connectives kAnd/kOr
+/// are not eager and return Internal here.
+Result<Item> ApplyBuiltin(Builtin fn, std::vector<Item>& vals,
+                          EvalContext* ctx);
+
+/// General comparison (kEq..kGe) with XQuery existential sequence
+/// semantics; exposed for fused batch kernels.
+Result<Item> GeneralCompareOp(Builtin fn, const Item& lhs, const Item& rhs);
+
+/// Binary arithmetic (kAdd..kMod) with empty-sequence propagation and
+/// the int64 fast path; exposed for fused batch kernels.
+Result<Item> ArithmeticOp(Builtin fn, const Item& lhs, const Item& rhs);
 
 }  // namespace jpar
 

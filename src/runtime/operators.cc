@@ -173,6 +173,155 @@ Status RunChain(const std::vector<UnaryOpDesc>& ops, size_t from,
   return Status::Internal("unknown unary operator kind");
 }
 
+namespace {
+
+/// Deferred per-row failures for a batch chain. Tuple-at-a-time
+/// execution stops at the first erroring tuple; a batch discovers
+/// errors op-by-op instead, so it records (row, first error) pairs and
+/// reports the lowest row's error once the chain has run — each row
+/// errors at most once because its lane is deselected on failure.
+using DeferredErrors = std::vector<std::pair<uint32_t, Status>>;
+
+Status FirstRowError(DeferredErrors& deferred) {
+  size_t best = 0;
+  for (size_t i = 1; i < deferred.size(); ++i) {
+    if (deferred[i].first < deferred[best].first) best = i;
+  }
+  return std::move(deferred[best].second);
+}
+
+/// Drops errored lanes from the batch selection and compacts `vals` to
+/// match, moving the failures into `deferred`.
+void DropErroredLanes(std::vector<LaneError>& lane_errors, TupleBatch* batch,
+                      std::vector<Item>* vals, DeferredErrors* deferred) {
+  const std::vector<uint32_t>& sel = batch->selection();
+  std::vector<uint8_t> dead(sel.size(), 0);
+  for (LaneError& e : lane_errors) {
+    deferred->emplace_back(sel[e.lane], std::move(e.status));
+    dead[e.lane] = 1;
+  }
+  std::vector<uint32_t> keep_sel;
+  std::vector<Item> keep_vals;
+  keep_sel.reserve(sel.size() - lane_errors.size());
+  keep_vals.reserve(sel.size() - lane_errors.size());
+  for (size_t lane = 0; lane < sel.size(); ++lane) {
+    if (dead[lane]) continue;
+    keep_sel.push_back(sel[lane]);
+    keep_vals.push_back(std::move((*vals)[lane]));
+  }
+  batch->SetSelection(std::move(keep_sel));
+  *vals = std::move(keep_vals);
+}
+
+}  // namespace
+
+Status RunBatchChain(const std::vector<UnaryOpDesc>& ops, TupleBatch* batch,
+                     EvalContext* ctx, bool use_bytecode, EvalCheck* check,
+                     const BatchSink& sink) {
+  DeferredErrors deferred;
+  std::vector<Item> vals;
+  std::vector<LaneError> lane_errors;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (batch->selection().empty()) break;
+    const UnaryOpDesc& op = ops[i];
+    switch (op.kind) {
+      case UnaryOpDesc::Kind::kAssign:
+      case UnaryOpDesc::Kind::kSelect: {
+        const std::vector<uint32_t>& sel = batch->selection();
+        vals.clear();
+        lane_errors.clear();
+        if (use_bytecode && op.program != nullptr) {
+          JPAR_RETURN_NOT_OK(EvalExprProgram(*op.program, *batch, sel, ctx,
+                                             check, &vals, &lane_errors));
+        } else {
+          vals.reserve(sel.size());
+          for (size_t lane = 0; lane < sel.size(); ++lane) {
+            if (check != nullptr) JPAR_RETURN_NOT_OK(check->Tick());
+            Result<Item> r =
+                op.eval->Eval(batch->MaterializeRow(sel[lane]), ctx);
+            if (!r.ok()) {
+              lane_errors.push_back(LaneError{lane, r.status()});
+              vals.emplace_back();
+            } else {
+              vals.push_back(*std::move(r));
+            }
+          }
+        }
+        if (!lane_errors.empty()) {
+          DropErroredLanes(lane_errors, batch, &vals, &deferred);
+        }
+        if (op.kind == UnaryOpDesc::Kind::kAssign) {
+          batch->AddColumn(std::move(vals));
+          vals = std::vector<Item>();
+        } else {
+          const std::vector<uint32_t>& live = batch->selection();
+          std::vector<uint32_t> keep;
+          keep.reserve(live.size());
+          for (size_t lane = 0; lane < live.size(); ++lane) {
+            Result<bool> b = vals[lane].EffectiveBooleanValue();
+            if (!b.ok()) {
+              deferred.emplace_back(live[lane], b.status());
+            } else if (*b) {
+              keep.push_back(live[lane]);
+            }
+          }
+          batch->SetSelection(std::move(keep));
+        }
+        break;
+      }
+      case UnaryOpDesc::Kind::kProject: {
+        for (int col : op.columns) {
+          if (col < 0 || static_cast<size_t>(col) >= batch->width()) {
+            // Uniform schema: every live row fails identically, and the
+            // first live row is the one tuple-at-a-time stops on.
+            deferred.emplace_back(batch->selection().front(),
+                                  Status::Internal(
+                                      "PROJECT column out of range"));
+            return FirstRowError(deferred);
+          }
+        }
+        batch->Project(op.columns);
+        break;
+      }
+      case UnaryOpDesc::Kind::kUnnest:
+      case UnaryOpDesc::Kind::kSubplan: {
+        // Fan-out operators fall back to the tuple chain for the whole
+        // remaining suffix, lane by lane, preserving emission order.
+        TupleBatch carry(batch->capacity());
+        bool carry_init = false;
+        TupleSink tsink = [&](Tuple t) -> Status {
+          if (!carry_init) {
+            carry.Reset(t.size());
+            carry_init = true;
+          }
+          carry.AppendTuple(std::move(t));
+          if (carry.full()) {
+            JPAR_RETURN_NOT_OK(sink(carry));
+            carry.Reset(carry.width());
+          }
+          return Status::OK();
+        };
+        for (uint32_t row : batch->selection()) {
+          if (check != nullptr) JPAR_RETURN_NOT_OK(check->Tick());
+          Status st = RunChain(ops, i, batch->MaterializeRow(row), ctx, tsink);
+          if (!st.ok()) {
+            // Later lanes can only fail on larger rows; deferred already
+            // holds any lower-row candidates from earlier operators.
+            deferred.emplace_back(row, std::move(st));
+            break;
+          }
+        }
+        if (!deferred.empty()) return FirstRowError(deferred);
+        if (carry_init && !carry.empty()) JPAR_RETURN_NOT_OK(sink(carry));
+        return Status::OK();
+      }
+    }
+  }
+  if (!deferred.empty()) return FirstRowError(deferred);
+  if (batch->selection().empty()) return Status::OK();
+  return sink(*batch);
+}
+
 Result<Tuple> RunSubplan(const SubplanDesc& subplan, const Tuple& seed,
                          EvalContext* ctx) {
   std::vector<std::unique_ptr<Aggregator>> aggs;

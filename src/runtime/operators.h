@@ -9,13 +9,19 @@
 #include "common/result.h"
 #include "json/projecting_reader.h"
 #include "runtime/aggregates.h"
+#include "runtime/expr_compile.h"
 #include "runtime/expression.h"
 #include "runtime/tuple.h"
+#include "runtime/tuple_batch.h"
 
 namespace jpar {
 
 /// Receives the tuples produced by a pipeline segment.
 using TupleSink = std::function<Status(Tuple)>;
+
+/// Receives the surviving rows of a batch at the pipeline boundary. The
+/// batch is consumed (its selection lists the rows to materialize).
+using BatchSink = std::function<Status(TupleBatch&)>;
 
 /// One aggregate computed by an AGGREGATE / GROUP-BY / SUBPLAN:
 /// `kind(arg)` evaluated over the operator's input stream, result bound
@@ -69,6 +75,11 @@ struct UnaryOpDesc {
   ScalarEvalPtr eval;                      // kAssign/kSelect/kUnnest
   std::shared_ptr<const SubplanDesc> subplan;  // kSubplan
   std::vector<int> columns;                // kProject
+  /// Compiled bytecode for `eval` (kAssign/kSelect only; nullptr when
+  /// compilation was off or the tree is opaque). Attached by the
+  /// physical translator; the batch chain uses it when the executor
+  /// runs in bytecode mode.
+  ExprProgramPtr program;
 
   static UnaryOpDesc Assign(ScalarEvalPtr e) {
     UnaryOpDesc d;
@@ -118,6 +129,20 @@ struct SubplanDesc {
 /// Recursion depth equals pipeline length (small).
 Status RunChain(const std::vector<UnaryOpDesc>& ops, size_t from,
                 Tuple tuple, EvalContext* ctx, const TupleSink& sink);
+
+/// Batch-at-a-time form of RunChain (DESIGN.md §13): applies the whole
+/// chain to `batch`, shrinking its selection at SELECTs, and delivers
+/// the survivors to `sink` in row order. ASSIGN/SELECT run vectorized
+/// (bytecode when `use_bytecode` and the op carries a program, per-lane
+/// tree evaluation otherwise); UNNEST/SUBPLAN fall back to the tuple
+/// chain for the remaining suffix, lane by lane, so fan-out order is
+/// identical to tuple-at-a-time execution. Per-lane failures are
+/// deferred and the lowest-row one is reported after the batch — the
+/// exact error a tuple-at-a-time run would have stopped on. `check` may
+/// be nullptr.
+Status RunBatchChain(const std::vector<UnaryOpDesc>& ops, TupleBatch* batch,
+                     EvalContext* ctx, bool use_bytecode, EvalCheck* check,
+                     const BatchSink& sink);
 
 /// Runs a SUBPLAN for one outer tuple, producing exactly one output
 /// tuple (seed ++ aggregate results).

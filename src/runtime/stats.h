@@ -90,6 +90,11 @@ struct ExecStats {
   uint64_t dist_frames = 0;   // data frames routed through the dispatcher
   uint64_t dist_bytes = 0;    // payload bytes of those frames
 
+  /// Vectorized execution (DESIGN.md §13); both 0 under the legacy
+  /// tuple-at-a-time path (ExprMode::kTree or JPAR_DISABLE_EXPR_BYTECODE).
+  uint64_t batches_emitted = 0;  // TupleBatches flushed through pipelines
+  uint64_t exprs_compiled = 0;   // ASSIGN/SELECT exprs running as bytecode
+
   /// Failure recovery (DESIGN.md §12); all 0 when no worker was lost.
   uint64_t fragment_retries = 0;   // fragment re-dispatches after kWorkerLost
   uint64_t workers_respawned = 0;  // worker processes respawned mid-query
@@ -118,6 +123,8 @@ struct ExecStats {
     spill_runs += other.spill_runs;
     spill_bytes_written += other.spill_bytes_written;
     spill_merge_passes += other.spill_merge_passes;
+    batches_emitted += other.batches_emitted;
+    exprs_compiled += other.exprs_compiled;
     dist_frames += other.dist_frames;
     dist_bytes += other.dist_bytes;
     fragment_retries += other.fragment_retries;

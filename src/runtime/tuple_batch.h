@@ -1,0 +1,104 @@
+#ifndef JPAR_RUNTIME_TUPLE_BATCH_H_
+#define JPAR_RUNTIME_TUPLE_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "json/item.h"
+#include "runtime/tuple.h"
+
+namespace jpar {
+
+/// A batch of tuples in columnar form (DESIGN.md §13): one scratch
+/// vector of Item per column, all of length rows(), plus a selection
+/// vector of the row indices still alive. Pipelines fill a batch from
+/// the scan, run the whole operator chain over it (SELECT shrinks the
+/// selection instead of copying survivors), and only materialize
+/// row-form tuples at the pipeline boundary. Item copies are cheap
+/// (shared_ptr payloads), so columns hold Items by value.
+class TupleBatch {
+ public:
+  /// ~1024 tuples amortizes per-batch dispatch without hurting cache
+  /// locality; ExecOptions::batch_size overrides per query.
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit TupleBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t width() const { return columns_.size(); }
+  size_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  bool full() const { return rows_ >= capacity_; }
+
+  /// Row indices (ascending) of the rows that survived SELECTs so far.
+  const std::vector<uint32_t>& selection() const { return sel_; }
+  void SetSelection(std::vector<uint32_t> sel) { sel_ = std::move(sel); }
+
+  const std::vector<Item>& column(size_t c) const { return columns_[c]; }
+
+  /// Clears all rows and re-shapes the batch to `width` input columns.
+  void Reset(size_t width) {
+    columns_.resize(width);
+    for (std::vector<Item>& col : columns_) col.clear();
+    sel_.clear();
+    rows_ = 0;
+  }
+
+  /// Appends a width-1 row (the DATASCAN shape: one projected item).
+  void AppendRow(Item item) {
+    columns_[0].push_back(std::move(item));
+    sel_.push_back(static_cast<uint32_t>(rows_));
+    ++rows_;
+  }
+
+  /// Appends a full row; `t.size()` must equal width().
+  void AppendTuple(Tuple t) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(std::move(t[c]));
+    }
+    sel_.push_back(static_cast<uint32_t>(rows_));
+    ++rows_;
+  }
+
+  /// Appends a new column from values aligned with the current
+  /// selection (values[k] belongs to row selection()[k]); deselected
+  /// rows get a null placeholder (never observed — they are skipped by
+  /// every later operator and never materialized).
+  void AddColumn(std::vector<Item> values) {
+    std::vector<Item> col(rows_);
+    for (size_t k = 0; k < sel_.size(); ++k) {
+      col[sel_[k]] = std::move(values[k]);
+    }
+    columns_.push_back(std::move(col));
+  }
+
+  /// Keeps only the listed columns, in order (PROJECT). Bounds are the
+  /// caller's responsibility.
+  void Project(const std::vector<int>& cols) {
+    std::vector<std::vector<Item>> next;
+    next.reserve(cols.size());
+    for (int c : cols) next.push_back(columns_[static_cast<size_t>(c)]);
+    columns_ = std::move(next);
+  }
+
+  /// Row-form copy of one row (for the legacy tuple fallback and the
+  /// pipeline-boundary sink).
+  Tuple MaterializeRow(uint32_t row) const {
+    Tuple t;
+    t.reserve(columns_.size());
+    for (const std::vector<Item>& col : columns_) t.push_back(col[row]);
+    return t;
+  }
+
+ private:
+  size_t capacity_;
+  size_t rows_ = 0;
+  std::vector<std::vector<Item>> columns_;
+  std::vector<uint32_t> sel_;
+};
+
+}  // namespace jpar
+
+#endif  // JPAR_RUNTIME_TUPLE_BATCH_H_

@@ -23,6 +23,13 @@ std::string PlanCache::Key(std::string_view query, const RuleOptions& rules,
   key += std::to_string(exec.partitions_per_node);
   key.push_back(',');
   key += std::to_string(exec.frame_bytes);
+  // Translation itself depends on expr_mode (it decides whether plans
+  // carry compiled bytecode), so it must key the cache; batch_size
+  // rides along to keep stats comparable across cached hits.
+  key.push_back(',');
+  key += std::to_string(static_cast<int>(exec.expr_mode));
+  key.push_back(',');
+  key += std::to_string(exec.batch_size);
   return key;
 }
 

@@ -118,6 +118,46 @@ TEST(DistExecTest, PaperQueriesByteIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(DistExecTest, DistributedBytecodeMatchesInProcessTreeRuns) {
+  // The vectorized-execution equivalence claim (DESIGN.md §13) across
+  // the wire: a distributed run with compiled expression bytecode must
+  // stay byte-identical to an in-process legacy tuple-at-a-time run.
+  // expr_mode travels in the fragment request, so the workers really
+  // execute the batch path while the baseline really interprets trees.
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EngineOptions tree_options;
+    tree_options.rules = RuleOptions::All();
+    tree_options.exec.partitions = workers;
+    tree_options.exec.expr_mode = ExprMode::kTree;
+    Engine tree_engine(tree_options);
+    tree_engine.catalog()->RegisterCollection("/sensors", MakeData());
+
+    EngineOptions bc_options = tree_options;
+    bc_options.exec.expr_mode = ExprMode::kBytecode;
+    Engine bc_engine(bc_options);
+    bc_engine.catalog()->RegisterCollection("/sensors", MakeData());
+
+    Cluster cluster(MakeDist(workers));
+    for (const char* query : kAllQueries) {
+      SCOPED_TRACE(query);
+      auto tree = tree_engine.Run(query);
+      ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+      EXPECT_EQ(tree->stats.exprs_compiled, 0u);
+
+      auto compiled = bc_engine.Compile(query, bc_options.rules);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      auto dist = cluster.Run(query, bc_options.rules, bc_options.exec,
+                              *compiled, *bc_engine.catalog(), nullptr);
+      ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+
+      EXPECT_EQ(Rows(*dist), Rows(*tree));
+      EXPECT_EQ(dist->stats.dist_workers, static_cast<uint64_t>(workers));
+    }
+    cluster.Stop();
+  }
+}
+
 TEST(DistExecTest, CatalogChangesResyncToWorkers) {
   EngineOptions options;
   options.rules = RuleOptions::All();

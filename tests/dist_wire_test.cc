@@ -91,6 +91,8 @@ TEST(ProtocolTest, FragmentRequestRoundTrip) {
   req.exec.memory_limit_bytes = 123456;
   req.exec.spill = SpillMode::kEnabled;
   req.exec.deadline_ms = 1500;
+  req.exec.expr_mode = ExprMode::kBytecode;
+  req.exec.batch_size = 512;
   req.stage_id = 2;
   req.worker_id = 3;
   req.worker_count = 4;
@@ -115,6 +117,8 @@ TEST(ProtocolTest, FragmentRequestRoundTrip) {
   EXPECT_EQ(got->exec.memory_limit_bytes, 123456u);
   EXPECT_EQ(got->exec.spill, SpillMode::kEnabled);
   EXPECT_EQ(got->exec.deadline_ms, 1500);
+  EXPECT_EQ(got->exec.expr_mode, ExprMode::kBytecode);
+  EXPECT_EQ(got->exec.batch_size, 512u);
   // Rules round-trip exactly: compare the canonical encodings.
   std::string a, b;
   EncodeRuleOptions(req.rules, &a);
@@ -129,6 +133,8 @@ TEST(ProtocolTest, OutputEofRoundTrip) {
   msg.stats.bytes_scanned = 1111;
   msg.stats.items_scanned = 22;
   msg.stats.result_rows = 3;
+  msg.stats.batches_emitted = 44;
+  msg.stats.exprs_compiled = 5;
   auto got = DecodeOutputEof(EncodeOutputEof(msg));
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_EQ(got->code, StatusCode::kDeadlineExceeded);
@@ -136,6 +142,8 @@ TEST(ProtocolTest, OutputEofRoundTrip) {
   EXPECT_EQ(got->stats.bytes_scanned, 1111u);
   EXPECT_EQ(got->stats.items_scanned, 22u);
   EXPECT_EQ(got->stats.result_rows, 3u);
+  EXPECT_EQ(got->stats.batches_emitted, 44u);
+  EXPECT_EQ(got->stats.exprs_compiled, 5u);
 }
 
 TEST(ProtocolTest, CancelAndCreditRoundTrip) {

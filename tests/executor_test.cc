@@ -329,6 +329,39 @@ TEST(ValidateExecOptionsTest, RejectsNegativeDeadline) {
   EXPECT_TRUE(ValidateExecOptions(o).ok());
 }
 
+TEST(ValidateExecOptionsTest, RejectsUnknownExprMode) {
+  ExecOptions o;
+  o.expr_mode = static_cast<ExprMode>(7);
+  Status st = ValidateExecOptions(o);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("expr_mode"), std::string::npos)
+      << st.ToString();
+  // All three named modes pass.
+  for (ExprMode mode :
+       {ExprMode::kAuto, ExprMode::kTree, ExprMode::kBytecode}) {
+    o.expr_mode = mode;
+    EXPECT_TRUE(ValidateExecOptions(o).ok());
+  }
+}
+
+TEST(ValidateExecOptionsTest, RejectsBatchSizeOutOfRange) {
+  ExecOptions o;
+  o.batch_size = 0;
+  Status st = ValidateExecOptions(o);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("batch_size"), std::string::npos)
+      << st.ToString();
+  o.batch_size = 65537;
+  EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  // Any batch size in range keeps the every-256-tuples cancellation
+  // guarantee: the batch evaluator ticks its check hook per lane batch
+  // internally, so even batch_size = 65536 is admissible.
+  for (size_t bs : {1u, 256u, 1024u, 65536u}) {
+    o.batch_size = bs;
+    EXPECT_TRUE(ValidateExecOptions(o).ok()) << bs;
+  }
+}
+
 TEST(ValidateExecOptionsTest, RejectsUnknownParseErrorPolicy) {
   ExecOptions o;
   o.on_parse_error = static_cast<ParseErrorPolicy>(99);
