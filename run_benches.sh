@@ -2,10 +2,11 @@
 # Runs every bench binary, appending to bench_output.txt. Pass a start
 # index to resume, and/or --scale X to grow every dataset (e.g.
 # `./run_benches.sh --scale 1000` runs bench_scan_throughput and
-# bench_fig17 over multi-GB sensor data). bench_scan_throughput
-# additionally writes BENCH_scan_throughput.json (scan GB/s per kernel +
-# morsel scaling) into the repo root so the perf trajectory is
-# machine-readable.
+# bench_fig17 over multi-GB sensor data). Benches that produce
+# machine-readable perf records (BENCH_*.json in the repo root) are
+# verified: a bench that exits nonzero or fails to write/refresh its
+# record is collected into a failure summary and the script exits
+# nonzero — no more silently missing artifacts.
 set -u
 start=0
 while [ "$#" -gt 0 ]; do
@@ -33,29 +34,72 @@ fi
 # binary when present (they also carry a compiled-in default).
 [ -x build/src/jpar_worker ] && \
   JPAR_WORKER_BIN="$(pwd)/build/src/jpar_worker" && export JPAR_WORKER_BIN
+
+# The JSON record each bench is expected to produce (empty = none).
+expected_json() {
+  case "$1" in
+    bench_scan_throughput) echo "BENCH_scan_throughput.json" ;;
+    bench_storage_tier)    echo "BENCH_storage_tier.json" ;;
+    bench_dist_cluster)    echo "BENCH_dist_cluster.json" ;;
+    bench_dist_recovery)   echo "BENCH_dist_recovery.json" ;;
+    bench_table3_memory)   echo "BENCH_spill_memory.json" ;;
+    bench_fig13_path_rules | bench_fig14_pipelining_rules)
+                           echo "BENCH_expr_bytecode.json" ;;
+    *) echo "" ;;
+  esac
+}
+
+failures=""
+note_failure() {
+  echo "FAILURE: $1" >&2
+  failures="${failures}
+  - $1"
+}
+
+# Nanosecond mtime (string), or "missing": a record counts as produced
+# only when its mtime moved during the bench run.
+record_mtime() {
+  stat -c %y "$1" 2>/dev/null || echo missing
+}
+
 i=0
 # Compare against the bench sources so a binary that failed to build is
 # a visible warning, not a silent gap in bench_output.txt.
 for src in bench/bench_*.cc; do
   name=$(basename "$src" .cc)
+  # bench_common.cc is the shared library source, not a bench binary.
+  [ "$name" = "bench_common" ] && continue
   b="build/bench/$name"
   if [ ! -f "$b" ] || [ ! -x "$b" ]; then
-    echo "WARNING: bench binary missing, skipping: $b (build it with" \
-         "cmake --build build --target $name)" >&2
+    note_failure "bench binary missing: $b (cmake --build build --target $name)"
     continue
   fi
   if [ "$i" -ge "$start" ]; then
     echo "=== $name ==="
-    timeout 900 "$b"
+    json=$(expected_json "$name")
+    before=""
+    [ -n "$json" ] && before=$(record_mtime "$json")
+    if ! timeout 900 "$b"; then
+      note_failure "$name exited nonzero"
+    elif [ -n "$json" ]; then
+      after=$(record_mtime "$json")
+      if [ "$after" = "missing" ]; then
+        note_failure "$name did not write $json"
+      elif [ "$after" = "$before" ]; then
+        note_failure "$name did not refresh $json (stale record)"
+      fi
+    fi
   fi
   i=$((i + 1))
 done
-[ -f BENCH_scan_throughput.json ] && \
-  echo "scan throughput record: BENCH_scan_throughput.json"
-[ -f BENCH_dist_cluster.json ] && \
-  echo "distributed cluster record: BENCH_dist_cluster.json"
-[ -f BENCH_dist_recovery.json ] && \
-  echo "distributed recovery record: BENCH_dist_recovery.json"
-[ -f BENCH_expr_bytecode.json ] && \
-  echo "expression bytecode record: BENCH_expr_bytecode.json"
+
+for json in BENCH_*.json; do
+  [ -f "$json" ] && echo "perf record: $json"
+done
+
+if [ -n "$failures" ]; then
+  echo "" >&2
+  echo "bench run FAILED:${failures}" >&2
+  exit 1
+fi
 exit 0

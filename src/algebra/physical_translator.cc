@@ -50,6 +50,74 @@ struct NodeAndSchema {
   Schema schema;
 };
 
+/// Compile-time zone-map annotation (DESIGN.md §14). When a SELECT
+/// sits directly on a DATASCAN and compares the scan's output column
+/// against a numeric constant (either argument order), the normalized
+/// predicate is recorded on the ScanDesc so the executor's columnar
+/// access path can prune whole blocks by their min/max zone maps. The
+/// SELECT stays in the plan untouched — pruning only ever removes rows
+/// the SELECT would drop, so every other access path is unaffected.
+void MaybeAnnotateZonePredicate(PNode* node) {
+  if (node->scan.kind != ScanDesc::Kind::kDataScan) return;
+  if (node->input != nullptr || node->ops.size() != 1) return;
+  const ScalarEval* ev = node->ops.front().eval.get();
+  if (ev == nullptr || ev->shape() != ScalarEval::Shape::kFunction) return;
+  Builtin fn = ev->shape_function();
+  if (fn != Builtin::kEq && fn != Builtin::kLt && fn != Builtin::kLe &&
+      fn != Builtin::kGt && fn != Builtin::kGe) {
+    return;
+  }
+  const std::vector<ScalarEvalPtr>* args = ev->shape_args();
+  if (args == nullptr || args->size() != 2) return;
+  const ScalarEval* lhs = (*args)[0].get();
+  const ScalarEval* rhs = (*args)[1].get();
+  // Normalize to column <op> constant; a constant on the left flips
+  // the comparison direction (c < x  ==  x > c).
+  bool flipped = false;
+  if (lhs->shape() == ScalarEval::Shape::kConstant &&
+      rhs->shape() == ScalarEval::Shape::kColumn) {
+    std::swap(lhs, rhs);
+    flipped = true;
+  }
+  if (lhs->shape() != ScalarEval::Shape::kColumn ||
+      rhs->shape() != ScalarEval::Shape::kConstant) {
+    return;
+  }
+  // The scan's output is the leaf pipeline's only column.
+  if (lhs->shape_column() != 0) return;
+  const Item* constant = rhs->shape_constant();
+  if (constant == nullptr || !constant->is_numeric()) return;
+  // Beyond 2^53 an int64 constant rounds when widened to double and
+  // the zone-map comparison would no longer be exact — skip.
+  constexpr double kMaxExactInt = 9007199254740992.0;
+  if (constant->is_int64() && (constant->int64_value() > kMaxExactInt ||
+                               constant->int64_value() < -kMaxExactInt)) {
+    return;
+  }
+  ZoneCompare op = ZoneCompare::kNone;
+  switch (fn) {
+    case Builtin::kEq:
+      op = ZoneCompare::kEq;
+      break;
+    case Builtin::kLt:
+      op = flipped ? ZoneCompare::kGt : ZoneCompare::kLt;
+      break;
+    case Builtin::kLe:
+      op = flipped ? ZoneCompare::kGe : ZoneCompare::kLe;
+      break;
+    case Builtin::kGt:
+      op = flipped ? ZoneCompare::kLt : ZoneCompare::kGt;
+      break;
+    case Builtin::kGe:
+      op = flipped ? ZoneCompare::kLe : ZoneCompare::kGe;
+      break;
+    default:
+      return;
+  }
+  node->scan.zone_op = op;
+  node->scan.zone_value = constant->AsDouble();
+}
+
 class Translator {
  public:
   explicit Translator(const PhysicalOptions& options) : options_(options) {}
@@ -150,6 +218,7 @@ class Translator {
           ns.schema.push_back(op->out_var);
         } else if (op->kind == LOpKind::kSelect) {
           ns.node->ops.push_back(MaybeCompile(UnaryOpDesc::Select(std::move(ev))));
+          MaybeAnnotateZonePredicate(ns.node.get());
         } else {
           ns.node->ops.push_back(UnaryOpDesc::Unnest(std::move(ev)));
           ns.schema.push_back(op->out_var);

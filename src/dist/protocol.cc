@@ -155,6 +155,9 @@ void EncodeExecOptions(const ExecOptions& exec, std::string* out) {
   out->push_back(exec.cooperative_checks ? 1 : 0);
   out->push_back(static_cast<char>(exec.expr_mode));
   PutVarint(exec.batch_size, out);
+  out->push_back(static_cast<char>(exec.storage_mode));
+  PutBytes(exec.storage_cache_dir, out);
+  PutVarint(exec.storage_budget_bytes, out);
 }
 
 Status DecodeExecOptions(PayloadReader* r, ExecOptions* out) {
@@ -189,6 +192,10 @@ Status DecodeExecOptions(PayloadReader* r, ExecOptions* out) {
   out->expr_mode = static_cast<ExprMode>(expr_mode);
   JPAR_ASSIGN_OR_RETURN(uint64_t batch_size, r->Varint());
   out->batch_size = static_cast<size_t>(batch_size);
+  JPAR_ASSIGN_OR_RETURN(uint8_t storage_mode, r->Byte());
+  out->storage_mode = static_cast<StorageMode>(storage_mode);
+  JPAR_ASSIGN_OR_RETURN(out->storage_cache_dir, r->String());
+  JPAR_ASSIGN_OR_RETURN(out->storage_budget_bytes, r->Varint());
   return Status::OK();
 }
 
@@ -253,6 +260,10 @@ void EncodeExecStats(const ExecStats& stats, std::string* out) {
   PutDouble(stats.recovery_ms, out);
   PutVarint(stats.batches_emitted, out);
   PutVarint(stats.exprs_compiled, out);
+  PutVarint(stats.tape_hits, out);
+  PutVarint(stats.tape_builds, out);
+  PutVarint(stats.columns_read, out);
+  PutVarint(stats.blocks_pruned, out);
 }
 
 Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
@@ -301,6 +312,10 @@ Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
   JPAR_ASSIGN_OR_RETURN(out->recovery_ms, r->Double());
   JPAR_ASSIGN_OR_RETURN(out->batches_emitted, r->Varint());
   JPAR_ASSIGN_OR_RETURN(out->exprs_compiled, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->tape_hits, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->tape_builds, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->columns_read, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->blocks_pruned, r->Varint());
   return Status::OK();
 }
 

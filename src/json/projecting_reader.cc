@@ -199,24 +199,38 @@ Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
   return Status::OK();
 }
 
-Status ProjectJsonStream(std::string_view text,
-                         const std::vector<PathStep>& steps,
-                         const std::function<Status(Item)>& sink,
-                         ProjectionStats* stats,
-                         uint64_t* skipped_records, ScanMode mode) {
+Status ProjectJsonStreamWithIndex(std::string_view text,
+                                  const std::vector<PathStep>& steps,
+                                  const StructuralIndex* prebuilt,
+                                  size_t index_origin,
+                                  const std::function<Status(Item)>& sink,
+                                  ProjectionStats* stats,
+                                  uint64_t* skipped_records, ScanMode mode) {
   // Stage 1 runs once per buffer; every cursor below (including the
   // per-record cursors of the degraded scan) consumes the same bitmaps.
-  StructuralIndex index;
+  // A caller-provided tape replaces the Build pass; `origin` tracks the
+  // offset of text[0] within the buffer the active index covers. It
+  // goes negative after a degraded scan rebuilds a suffix index (the
+  // local index then starts *inside* text), and every cursor offset
+  // below is origin + text offset, which is always >= 0.
+  StructuralIndex local;
   const StructuralIndex* idx = nullptr;
+  int64_t origin = 0;
   if (mode == ScanMode::kIndexed) {
-    index = StructuralIndex::Build(text);
-    idx = &index;
+    if (prebuilt != nullptr) {
+      idx = prebuilt;
+      origin = static_cast<int64_t>(index_origin);
+    } else {
+      local = StructuralIndex::Build(text);
+      idx = &local;
+    }
   }
 
   if (skipped_records == nullptr) {
     // Strict mode: one cursor straight through the stream.
-    JsonCursor cursor = idx != nullptr ? JsonCursor(text, idx)
-                                       : JsonCursor(text);
+    JsonCursor cursor =
+        idx != nullptr ? JsonCursor(text, idx, static_cast<size_t>(origin))
+                       : JsonCursor(text);
     Projector projector(&cursor, steps, sink, stats);
     while (!cursor.AtEnd()) {
       JPAR_RETURN_NOT_OK(projector.Project(0, 0));
@@ -240,13 +254,15 @@ Status ProjectJsonStream(std::string_view text,
   // state. When that happens (detected via InString at the resync
   // point) the index is rebuilt over the remaining suffix, so both
   // modes recover identically.
-  size_t index_base = 0;  // buffer offset the current index starts at
   size_t offset = 0;
   while (offset < text.size()) {
     std::string_view rest = text.substr(offset);
-    JsonCursor cursor = idx != nullptr
-                            ? JsonCursor(rest, idx, offset - index_base)
-                            : JsonCursor(rest);
+    JsonCursor cursor =
+        idx != nullptr
+            ? JsonCursor(rest, idx,
+                         static_cast<size_t>(origin +
+                                             static_cast<int64_t>(offset)))
+            : JsonCursor(rest);
     if (cursor.AtEnd()) break;
     cursor.SkipWhitespace();
     size_t record_start = cursor.position();
@@ -258,10 +274,11 @@ Status ProjectJsonStream(std::string_view text,
       size_t newline = FindNewline(rest, record_start);
       if (newline == std::string_view::npos) break;  // tail is unusable
       offset += newline + 1;
-      if (idx != nullptr && offset - index_base < idx->size() &&
-          idx->InString(offset - index_base)) {
-        index = StructuralIndex::Build(text.substr(offset));
-        index_base = offset;
+      size_t ipos = static_cast<size_t>(origin + static_cast<int64_t>(offset));
+      if (idx != nullptr && ipos < idx->size() && idx->InString(ipos)) {
+        local = StructuralIndex::Build(text.substr(offset));
+        idx = &local;
+        origin = -static_cast<int64_t>(offset);
       }
       continue;
     }
@@ -269,6 +286,15 @@ Status ProjectJsonStream(std::string_view text,
   }
   if (stats != nullptr) stats->bytes_scanned += text.size();
   return Status::OK();
+}
+
+Status ProjectJsonStream(std::string_view text,
+                         const std::vector<PathStep>& steps,
+                         const std::function<Status(Item)>& sink,
+                         ProjectionStats* stats,
+                         uint64_t* skipped_records, ScanMode mode) {
+  return ProjectJsonStreamWithIndex(text, steps, nullptr, 0, sink, stats,
+                                    skipped_records, mode);
 }
 
 Status NavigateItemPath(const Item& item, const std::vector<PathStep>& steps,

@@ -106,6 +106,24 @@ Status ProjectJsonStream(std::string_view text,
                          uint64_t* skipped_records = nullptr,
                          ScanMode mode = ScanMode::kIndexed);
 
+/// ProjectJsonStream against a caller-provided stage-1 index — the
+/// storage tier's cached tape (DESIGN.md §14) — so warm scans skip the
+/// StructuralIndex::Build pass entirely. `prebuilt` was built over a
+/// containing buffer; `index_origin` is the byte offset of text[0]
+/// within that buffer, which lets one whole-file tape serve every
+/// morsel sub-view of the file. Degraded scans still rebuild a local
+/// suffix index when a malformed record poisons the in-string mask,
+/// exactly like the tape-less path. `prebuilt` may be null (plain cold
+/// scan); kScalar mode ignores it.
+Status ProjectJsonStreamWithIndex(std::string_view text,
+                                  const std::vector<PathStep>& steps,
+                                  const StructuralIndex* prebuilt,
+                                  size_t index_origin,
+                                  const std::function<Status(Item)>& sink,
+                                  ProjectionStats* stats = nullptr,
+                                  uint64_t* skipped_records = nullptr,
+                                  ScanMode mode = ScanMode::kIndexed);
+
 /// In-memory analogue of ProjectJson: walks `steps[from..]` over an
 /// already materialized item, emitting each match. Used by scans over
 /// binary (pre-loaded) documents and by index construction, where there

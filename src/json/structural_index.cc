@@ -278,4 +278,74 @@ size_t StructuralIndex::NextOpOrQuote(size_t pos) const {
   return (w << 6) + static_cast<size_t>(std::countr_zero(word));
 }
 
+namespace {
+
+void AppendWords(const std::vector<uint64_t>& words, std::string* out) {
+  for (uint64_t w : words) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(w >> (8 * i));
+    out->append(buf, 8);
+  }
+}
+
+bool ReadWords(std::string_view data, size_t* pos, size_t count,
+               std::vector<uint64_t>* words) {
+  if (data.size() - *pos < count * 8) return false;
+  words->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t w = 0;
+    for (int b = 0; b < 8; ++b) {
+      w |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data[*pos + 8 * i + b]))
+           << (8 * b);
+    }
+    (*words)[i] = w;
+  }
+  *pos += count * 8;
+  return true;
+}
+
+}  // namespace
+
+size_t StructuralIndex::SerializedBytes(size_t n) {
+  return 8 + 4 * (((n + 63) >> 6) * 8);
+}
+
+void StructuralIndex::AppendTo(std::string* out) const {
+  char len[8];
+  for (int i = 0; i < 8; ++i) {
+    len[i] = static_cast<char>(static_cast<uint64_t>(n_) >> (8 * i));
+  }
+  out->append(len, 8);
+  AppendWords(quote_, out);
+  AppendWords(op_, out);
+  AppendWords(newline_, out);
+  AppendWords(in_string_, out);
+}
+
+bool StructuralIndex::LoadFrom(std::string_view data) {
+  *this = StructuralIndex();
+  if (data.size() < 8) return false;
+  uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) {
+    n |= static_cast<uint64_t>(static_cast<unsigned char>(data[i])) << (8 * i);
+  }
+  // Bound n before SerializedBytes to keep corrupt headers from
+  // overflowing the size arithmetic.
+  if (n > (data.size() - 8) * 16 || data.size() != SerializedBytes(n)) {
+    return false;
+  }
+  size_t words = (static_cast<size_t>(n) + 63) >> 6;
+  size_t pos = 8;
+  if (!ReadWords(data, &pos, words, &quote_) ||
+      !ReadWords(data, &pos, words, &op_) ||
+      !ReadWords(data, &pos, words, &newline_) ||
+      !ReadWords(data, &pos, words, &in_string_)) {
+    *this = StructuralIndex();
+    return false;
+  }
+  n_ = static_cast<size_t>(n);
+  return true;
+}
+
 }  // namespace jpar

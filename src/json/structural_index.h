@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -80,6 +81,20 @@ class StructuralIndex {
   size_t NextQuote(size_t pos) const { return NextBit(quote_, pos); }
   size_t NextNewline(size_t pos) const { return NextBit(newline_, pos); }
   size_t NextOpOrQuote(size_t pos) const;
+
+  /// Appends a compact serialization (input length + the four bitmaps)
+  /// to *out. This is the payload of the storage tier's tape sidecars
+  /// (DESIGN.md §14) — an internal cache artifact, not an interchange
+  /// format; LoadFrom only accepts what AppendTo wrote.
+  void AppendTo(std::string* out) const;
+
+  /// Exact byte count AppendTo produces for an index over `n` bytes.
+  static size_t SerializedBytes(size_t n);
+
+  /// Reconstructs the index from one AppendTo serialization. Returns
+  /// false (leaving *this empty) on truncation or trailing bytes, so a
+  /// corrupt sidecar degrades to a cache miss rather than an error.
+  bool LoadFrom(std::string_view data);
 
  private:
   bool TestBit(const std::vector<uint64_t>& words, size_t pos) const {

@@ -29,6 +29,55 @@ double ElapsedMs(Clock::time_point start) {
 
 std::string IndentStr(int n) { return std::string(static_cast<size_t>(n), ' '); }
 
+/// Which warm-storage access paths this query may use (DESIGN.md §14).
+/// The JPAR_DISABLE_STORAGE_CACHE kill-switch overrides every mode.
+struct StoragePolicy {
+  bool tapes = false;
+  bool columns = false;
+};
+
+StoragePolicy ResolveStoragePolicy(const ExecOptions& options) {
+  if (StorageCacheDisabledByEnv()) return {};
+  switch (options.storage_mode) {
+    case StorageMode::kOff:
+      return {};
+    case StorageMode::kTape:
+      return {true, false};
+    case StorageMode::kAuto:
+    case StorageMode::kColumnar:
+      return {true, true};
+  }
+  return {};
+}
+
+/// Only path-backed text files participate in the storage tier:
+/// in-memory and binary files have no (path, size, mtime) identity.
+bool FileCacheable(const JsonFile& file) {
+  return !file.is_binary() && !file.in_memory() && !file.path().empty();
+}
+
+/// Serves one file's scan from a cached column: decodes each block's
+/// values in the original emit order, skipping blocks the zone map
+/// proves cannot satisfy the scan's annotated SELECT predicate. The
+/// SELECT itself still runs over every emitted row downstream.
+Status EmitColumn(const ColumnData& column, const ScanDesc& scan,
+                  const std::function<Status(Item)>& emit,
+                  uint64_t* blocks_pruned) {
+  for (const ColumnBlock& block : column.blocks) {
+    if (scan.zone_op != ZoneCompare::kNone &&
+        !ZoneMayMatch(block, scan.zone_op, scan.zone_value)) {
+      ++*blocks_pruned;
+      continue;
+    }
+    ItemReader reader(block.values);
+    while (!reader.AtEnd()) {
+      JPAR_ASSIGN_OR_RETURN(Item item, reader.Read());
+      JPAR_RETURN_NOT_OK(emit(std::move(item)));
+    }
+  }
+  return Status::OK();
+}
+
 /// Batch-at-a-time pipeline driver (DESIGN.md §13): accumulates scan
 /// items / input tuples into a TupleBatch and runs the whole op chain
 /// per batch via RunBatchChain. Survivors are materialized once at the
@@ -554,8 +603,22 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
   std::vector<uint64_t> task_max_tuple(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_skipped(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_batches(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_tape_hits(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_tape_builds(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_columns_read(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_blocks_pruned(static_cast<size_t>(pcount), 0);
   const bool lenient_scan =
       options_.on_parse_error == ParseErrorPolicy::kSkipAndCount;
+  // Warm-storage access-path selection (DESIGN.md §14), per file below:
+  // columnar read when the projected path is cached, tape-accelerated
+  // scan when the stage-1 index is cached, cold scan otherwise.
+  const StoragePolicy storage = ResolveStoragePolicy(options_);
+  const StorageConfig storage_cfg{options_.storage_budget_bytes,
+                                  options_.storage_cache_dir};
+  const std::string scan_path_str =
+      leaf && node.scan.kind == ScanDesc::Kind::kDataScan
+          ? PathToString(node.scan.steps)
+          : std::string();
   // EMPTY-TUPLE-SOURCE pipelines emit one seed tuple; they keep the
   // tuple path (and its exact boundary accounting) in every mode.
   const bool batch_mode =
@@ -628,28 +691,93 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
           if (!st.ok()) break;
           continue;
         }
-        auto text_result = file.Load();
-        if (!text_result.ok()) {
-          st = text_result.status();
-          break;
+        auto emit = [&](Item item) -> Status {
+          JPAR_RETURN_NOT_OK(item_check());
+          if (pipe != nullptr) return pipe->PushItem(std::move(item));
+          return RunChain(node.ops, 0, Tuple{std::move(item)}, &ctx, sink);
+        };
+        const bool cacheable =
+            (storage.tapes || storage.columns) && FileCacheable(file);
+        // Columnar read: the cheapest access path — no JSON bytes
+        // touched, just the shredded values for this projected path.
+        // Strict scans refuse columns recorded with skipped records,
+        // so the cold path can surface the file's parse error.
+        if (cacheable && storage.columns) {
+          std::shared_ptr<const ColumnData> col =
+              StorageManager::Instance().GetColumn(file.path(),
+                                                   scan_path_str, storage_cfg);
+          if (col != nullptr &&
+              (lenient_scan || col->skipped_records == 0)) {
+            ++task_columns_read[static_cast<size_t>(p)];
+            task_bytes[static_cast<size_t>(p)] += col->bytes;
+            if (lenient_scan) {
+              task_skipped[static_cast<size_t>(p)] += col->skipped_records;
+            }
+            st = EmitColumn(*col, node.scan, emit,
+                            &task_blocks_pruned[static_cast<size_t>(p)]);
+            if (!st.ok()) break;
+            continue;
+          }
         }
-        std::shared_ptr<const std::string> text = *text_result;
+        // Tape-accelerated scan: cached file bytes + cached stage-1
+        // index; stage 2 runs as usual. A storage failure (stat/read
+        // race) degrades to the cold path below.
+        std::shared_ptr<const std::string> text;
+        std::shared_ptr<const StructuralIndex> tape;
+        FileSignature sig;
+        bool have_sig = false;
+        if (cacheable && storage.tapes &&
+            options_.scan_mode == ScanMode::kIndexed) {
+          auto tape_result =
+              StorageManager::Instance().AcquireTape(file.path(), storage_cfg);
+          if (tape_result.ok()) {
+            text = tape_result->text;
+            tape = tape_result->index;
+            sig = tape_result->signature;
+            have_sig = true;
+            if (tape_result->hit) {
+              ++task_tape_hits[static_cast<size_t>(p)];
+            } else {
+              ++task_tape_builds[static_cast<size_t>(p)];
+            }
+          }
+        }
+        if (text == nullptr) {
+          auto text_result = file.Load();
+          if (!text_result.ok()) {
+            st = text_result.status();
+            break;
+          }
+          text = *text_result;
+        }
         task_bytes[static_cast<size_t>(p)] += text->size();
+        // First projecting scan of a cacheable file also shreds the
+        // path into a column for later queries (tee on the emit path).
+        std::unique_ptr<ColumnBuilder> builder;
+        if (cacheable && storage.columns && have_sig) {
+          builder = std::make_unique<ColumnBuilder>();
+        }
+        uint64_t skipped_before = task_skipped[static_cast<size_t>(p)];
         // Collection files are document streams: one document or many
         // (NDJSON / concatenated JSON). In lenient mode malformed
         // records are skipped and counted instead of failing the scan.
-        st = ProjectJsonStream(
-            *text, node.scan.steps,
+        st = ProjectJsonStreamWithIndex(
+            *text, node.scan.steps, tape.get(), 0,
             [&](Item item) -> Status {
-              JPAR_RETURN_NOT_OK(item_check());
-              if (pipe != nullptr) return pipe->PushItem(std::move(item));
-              return RunChain(node.ops, 0, Tuple{std::move(item)}, &ctx,
-                              sink);
+              if (builder != nullptr) builder->Add(item);
+              return emit(std::move(item));
             },
             nullptr,
             lenient_scan ? &task_skipped[static_cast<size_t>(p)] : nullptr,
             options_.scan_mode);
         if (!st.ok()) break;
+        if (builder != nullptr) {
+          StorageManager::Instance().PutColumn(
+              file.path(), scan_path_str,
+              builder->Finish(task_skipped[static_cast<size_t>(p)] -
+                              skipped_before),
+              sig, storage_cfg);
+        }
       }
     } else if (st.ok() && leaf) {
       st = RunChain(node.ops, 0, Tuple{}, &ctx, sink);
@@ -689,6 +817,10 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
     stats->items_scanned += task_items[static_cast<size_t>(p)];
     stats->skipped_records += task_skipped[static_cast<size_t>(p)];
     stats->batches_emitted += task_batches[static_cast<size_t>(p)];
+    stats->tape_hits += task_tape_hits[static_cast<size_t>(p)];
+    stats->tape_builds += task_tape_builds[static_cast<size_t>(p)];
+    stats->columns_read += task_columns_read[static_cast<size_t>(p)];
+    stats->blocks_pruned += task_blocks_pruned[static_cast<size_t>(p)];
     stage.pipeline_bytes += task_boundary_bytes[static_cast<size_t>(p)];
     if (task_max_tuple[static_cast<size_t>(p)] > stage.max_tuple_bytes) {
       stage.max_tuple_bytes = task_max_tuple[static_cast<size_t>(p)];
@@ -719,6 +851,16 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     size_t begin = 0;
     size_t end = 0;
     bool split_file = false;  // file produced more than one morsel
+    // Warm-storage access path (DESIGN.md §14). A columnar-served file
+    // is one task with `column` set; a tape-accelerated file's morsels
+    // share the whole-file `tape` (indexed at absolute offsets, so
+    // `begin` doubles as the index origin). An unsplit cacheable file
+    // with `build_column` learns its column during the scan.
+    std::shared_ptr<const ColumnData> column;
+    std::shared_ptr<const StructuralIndex> tape;
+    const JsonFile* file = nullptr;
+    FileSignature sig;
+    bool build_column = false;
   };
   // Private per-morsel result slot; nothing is shared between workers
   // until the post-join merge.
@@ -731,8 +873,17 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     uint64_t max_tuple = 0;
     uint64_t skipped = 0;
     uint64_t batches = 0;
+    uint64_t blocks_pruned = 0;
     bool ran = false;
   };
+
+  // Warm-storage access-path selection runs here on the coordinator
+  // (tape acquisition and column lookup are serialized, never raced by
+  // the worker pool); workers only consume the resulting shared_ptrs.
+  const StoragePolicy storage = ResolveStoragePolicy(options_);
+  const StorageConfig storage_cfg{options_.storage_budget_bytes,
+                                  options_.storage_cache_dir};
+  const std::string scan_path_str = PathToString(node.scan.steps);
 
   size_t file_count =
       file_filter != nullptr ? file_filter->size() : coll.files.size();
@@ -749,11 +900,46 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     file_first_task[i] = tasks.size();
     Morsel m;
     m.partition = static_cast<int>(i % static_cast<size_t>(pcount));
+    const bool cacheable =
+        (storage.tapes || storage.columns) && FileCacheable(file);
     if (file.is_binary()) {
       m.binary = &file;
       tasks.push_back(m);
+    } else if (std::shared_ptr<const ColumnData> col =
+                   cacheable && storage.columns
+                       ? StorageManager::Instance().GetColumn(
+                             file.path(), scan_path_str, storage_cfg)
+                       : nullptr;
+               col != nullptr && (lenient || col->skipped_records == 0)) {
+      // Columnar-served file: one task, no JSON bytes, no splitting.
+      m.column = std::move(col);
+      ++stats->columns_read;
+      tasks.push_back(m);
     } else {
-      JPAR_ASSIGN_OR_RETURN(m.text, file.Load());
+      m.file = &file;
+      bool have_sig = false;
+      if (cacheable && storage.tapes &&
+          options_.scan_mode == ScanMode::kIndexed) {
+        auto tape_result =
+            StorageManager::Instance().AcquireTape(file.path(), storage_cfg);
+        if (tape_result.ok()) {
+          m.text = tape_result->text;
+          m.tape = tape_result->index;
+          m.sig = tape_result->signature;
+          have_sig = true;
+          if (tape_result->hit) {
+            ++stats->tape_hits;
+          } else {
+            ++stats->tape_builds;
+          }
+        }
+      }
+      if (m.text == nullptr) {
+        JPAR_ASSIGN_OR_RETURN(m.text, file.Load());
+      }
+      // Unsplit cacheable files learn their column during this scan;
+      // split files don't (per-morsel fragments are not a whole column).
+      m.build_column = cacheable && storage.columns && have_sig;
       const char* base = m.text->data();
       size_t n = m.text->size();
       size_t begin = 0;
@@ -783,6 +969,7 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     if (file_task_count[i] > 1) {
       for (size_t t = file_first_task[i]; t < tasks.size(); ++t) {
         tasks[t].split_file = true;
+        tasks[t].build_column = false;
       }
     }
   }
@@ -835,13 +1022,37 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
         auto doc = DeserializeItem(*m.binary->binary());
         st = doc.ok() ? NavigateItemPath(*doc, node.scan.steps, 0, emit)
                       : doc.status();
+      } else if (m.column != nullptr) {
+        // Columnar read: emit the cached values; zone maps prune whole
+        // blocks against the scan's annotated SELECT predicate.
+        slot->bytes += m.column->bytes;
+        if (lenient) slot->skipped += m.column->skipped_records;
+        st = EmitColumn(*m.column, node.scan, emit, &slot->blocks_pruned);
       } else {
         std::string_view view(*m.text);
         view = view.substr(m.begin, m.end - m.begin);
         slot->bytes += view.size();
-        st = ProjectJsonStream(view, node.scan.steps, emit, nullptr,
-                               lenient ? &slot->skipped : nullptr,
-                               options_.scan_mode);
+        // With a cached tape, the whole-file index serves this morsel
+        // at absolute offsets (index origin = m.begin); without one,
+        // stage 1 is built over just this sub-view as before.
+        std::unique_ptr<ColumnBuilder> builder;
+        if (m.build_column) builder = std::make_unique<ColumnBuilder>();
+        std::function<Status(Item)> scan_emit = emit;
+        if (builder != nullptr) {
+          scan_emit = [&](Item item) -> Status {
+            builder->Add(item);
+            return emit(std::move(item));
+          };
+        }
+        st = ProjectJsonStreamWithIndex(view, node.scan.steps, m.tape.get(),
+                                        m.begin, scan_emit, nullptr,
+                                        lenient ? &slot->skipped : nullptr,
+                                        options_.scan_mode);
+        if (st.ok() && builder != nullptr) {
+          StorageManager::Instance().PutColumn(
+              m.file->path(), scan_path_str, builder->Finish(slot->skipped),
+              m.sig, storage_cfg);
+        }
       }
       if (st.ok() && pipe != nullptr) st = pipe->Finish();
       slot->bytes += ctx.bytes_parsed;
@@ -937,6 +1148,7 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     stats->items_scanned += slot.items;
     stats->skipped_records += slot.skipped;
     stats->batches_emitted += slot.batches;
+    stats->blocks_pruned += slot.blocks_pruned;
     if (slot.ran) ++stats->morsels_scanned;
     stage.pipeline_bytes += slot.boundary_bytes;
     if (slot.max_tuple > stage.max_tuple_bytes) {
@@ -1798,6 +2010,14 @@ Status ValidateExecOptions(const ExecOptions& options) {
     return Status::InvalidArgument(
         "unknown expr_mode: " +
         std::to_string(static_cast<int>(options.expr_mode)));
+  }
+  if (options.storage_mode != StorageMode::kAuto &&
+      options.storage_mode != StorageMode::kOff &&
+      options.storage_mode != StorageMode::kTape &&
+      options.storage_mode != StorageMode::kColumnar) {
+    return Status::InvalidArgument(
+        "unknown storage_mode: " +
+        std::to_string(static_cast<int>(options.storage_mode)));
   }
   if (options.batch_size < 1 || options.batch_size > 65536) {
     // Batches above 64Ki tuples gain nothing (cancellation checks tick

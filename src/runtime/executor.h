@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "json/structural_index.h"
+#include "storage/storage_tier.h"
 #include "runtime/catalog.h"
 #include "runtime/memory.h"
 #include "runtime/operators.h"
@@ -186,6 +187,17 @@ struct ExecOptions {
   /// — but ValidateExecOptions caps it at 65536 so a typo cannot turn
   /// batches into whole-partition materialization.
   size_t batch_size = TupleBatch::kDefaultCapacity;
+  /// Warm storage tier (DESIGN.md §14): which cache levels DATASCAN may
+  /// use over path-backed collection files. kAuto enables tapes and
+  /// columns; JPAR_DISABLE_STORAGE_CACHE forces everything cold.
+  StorageMode storage_mode = StorageMode::kAuto;
+  /// Directory for tape/column sidecar files; empty = next to the data
+  /// files. Applied to the process-global StorageManager (last writer
+  /// wins, like the cache itself).
+  std::string storage_cache_dir;
+  /// In-memory budget for the storage cache; 0 keeps the manager's
+  /// current budget (256 MiB default). LRU-evicted per file entry.
+  uint64_t storage_budget_bytes = 0;
 };
 
 /// Checks an ExecOptions for values that would make execution

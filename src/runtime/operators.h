@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "json/projecting_reader.h"
+#include "storage/column_store.h"
 #include "runtime/aggregates.h"
 #include "runtime/expr_compile.h"
 #include "runtime/expression.h"
@@ -172,6 +173,15 @@ struct ScanDesc {
   bool use_index = false;
   std::vector<PathStep> index_path;
   Item index_value;
+
+  /// Zone-map prune predicate (DESIGN.md §14): when the SELECT directly
+  /// above this scan compares the scan's output column to a numeric
+  /// constant, the physical translator records the normalized
+  /// comparison here. The columnar access path skips blocks whose
+  /// min/max zone map proves no row can satisfy it; the SELECT still
+  /// runs over surviving rows, so this is purely an accelerator.
+  ZoneCompare zone_op = ZoneCompare::kNone;
+  double zone_value = 0;
 
   std::string ToString() const;
 };

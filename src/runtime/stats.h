@@ -95,6 +95,13 @@ struct ExecStats {
   uint64_t batches_emitted = 0;  // TupleBatches flushed through pipelines
   uint64_t exprs_compiled = 0;   // ASSIGN/SELECT exprs running as bytecode
 
+  /// Warm storage tier (DESIGN.md §14); all 0 when the cache is off or
+  /// every scanned file is in-memory/binary.
+  uint64_t tape_hits = 0;      // scans served a cached structural tape
+  uint64_t tape_builds = 0;    // tapes built (and cached) this query
+  uint64_t columns_read = 0;   // files served from the columnar cache
+  uint64_t blocks_pruned = 0;  // column blocks skipped via zone maps
+
   /// Failure recovery (DESIGN.md §12); all 0 when no worker was lost.
   uint64_t fragment_retries = 0;   // fragment re-dispatches after kWorkerLost
   uint64_t workers_respawned = 0;  // worker processes respawned mid-query
@@ -125,6 +132,10 @@ struct ExecStats {
     spill_merge_passes += other.spill_merge_passes;
     batches_emitted += other.batches_emitted;
     exprs_compiled += other.exprs_compiled;
+    tape_hits += other.tape_hits;
+    tape_builds += other.tape_builds;
+    columns_read += other.columns_read;
+    blocks_pruned += other.blocks_pruned;
     dist_frames += other.dist_frames;
     dist_bytes += other.dist_bytes;
     fragment_retries += other.fragment_retries;

@@ -3,7 +3,7 @@
 namespace jpar {
 
 std::string PlanCache::Key(std::string_view query, const RuleOptions& rules,
-                           const ExecOptions& exec) {
+                           const ExecOptions& exec, uint64_t storage_epoch) {
   std::string key;
   key.reserve(query.size() + 64);
   key.append(query);
@@ -30,6 +30,12 @@ std::string PlanCache::Key(std::string_view query, const RuleOptions& rules,
   key += std::to_string(static_cast<int>(exec.expr_mode));
   key.push_back(',');
   key += std::to_string(exec.batch_size);
+  // The storage mode picks the access path family and the epoch pins
+  // the columnar-cache generation the plan was selected against.
+  key.push_back(',');
+  key += std::to_string(static_cast<int>(exec.storage_mode));
+  key.push_back('@');
+  key += std::to_string(storage_epoch);
   return key;
 }
 

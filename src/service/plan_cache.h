@@ -45,9 +45,12 @@ class PlanCache {
   /// participates because two_step_aggregation (mirrored into the
   /// physical translation) and partitioning feed plan-shape decisions;
   /// fingerprinting all of it keeps the key trivially correct as the
-  /// planner grows more option-sensitive.
+  /// planner grows more option-sensitive. `storage_epoch` is the
+  /// StorageManager epoch (DESIGN.md §14): it advances whenever cached
+  /// columns are installed or invalidated, so a plan compiled against
+  /// one cache generation is never replayed against another.
   static std::string Key(std::string_view query, const RuleOptions& rules,
-                         const ExecOptions& exec);
+                         const ExecOptions& exec, uint64_t storage_epoch = 0);
 
   /// Returns the cached plan and promotes it to most-recently-used, or
   /// nullptr on a miss. Counts a hit or miss.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "storage/storage_tier.h"
+
 namespace jpar {
 
 // ---------------------------------------------------------------------
@@ -184,7 +186,8 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
     ++outstanding_;
   }
 
-  std::string key = PlanCache::Key(query, opts.rules, opts.exec);
+  std::string key = PlanCache::Key(query, opts.rules, opts.exec,
+                                   StorageManager::Instance().epoch());
   // The session is kept alive for the query's whole lifetime even if
   // the client drops its handle right after Submit().
   std::shared_ptr<Session> self = session->shared_from_this();
@@ -260,6 +263,10 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
           workers_respawned_ += result->stats.workers_respawned;
           frames_replayed_ += result->stats.frames_replayed;
           replay_spill_bytes_ += result->stats.replay_spill_bytes;
+          tape_hits_ += result->stats.tape_hits;
+          tape_builds_ += result->stats.tape_builds;
+          columns_read_ += result->stats.columns_read;
+          blocks_pruned_ += result->stats.blocks_pruned;
           output = *std::move(result);
         } else {
           st = result.status();
@@ -304,6 +311,10 @@ ServiceMetrics QueryService::Metrics() const {
   m.workers_respawned = workers_respawned_.load();
   m.frames_replayed = frames_replayed_.load();
   m.replay_spill_bytes = replay_spill_bytes_.load();
+  m.tape_hits = tape_hits_.load();
+  m.tape_builds = tape_builds_.load();
+  m.columns_read = columns_read_.load();
+  m.blocks_pruned = blocks_pruned_.load();
   return m;
 }
 
@@ -331,6 +342,11 @@ std::string ServiceMetrics::ToString() const {
   line("workers respawned", workers_respawned);
   line("frames replayed", frames_replayed);
   line("replay spill bytes", replay_spill_bytes);
+  out += "storage tier:\n";
+  line("tape hits", tape_hits);
+  line("tape builds", tape_builds);
+  line("columns read", columns_read);
+  line("blocks pruned", blocks_pruned);
   out += "plan cache:\n";
   line("hits", plan_cache.hits);
   line("misses", plan_cache.misses);

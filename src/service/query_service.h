@@ -192,6 +192,12 @@ struct ServiceMetrics {
   uint64_t workers_respawned = 0;   // workers respawned mid-query
   uint64_t frames_replayed = 0;     // input frames replayed to retries
   uint64_t replay_spill_bytes = 0;  // replay buffer bytes spilled to disk
+  // Warm storage tier (DESIGN.md §14), aggregated like the recovery
+  // counters from the ExecStats of successfully completed queries.
+  uint64_t tape_hits = 0;      // scans served a cached structural tape
+  uint64_t tape_builds = 0;    // structural tapes built and cached
+  uint64_t columns_read = 0;   // files answered from the columnar cache
+  uint64_t blocks_pruned = 0;  // column blocks skipped via zone maps
 
   /// Multi-line human-readable dump (used by bench_service_throughput).
   std::string ToString() const;
@@ -266,6 +272,10 @@ class QueryService {
   std::atomic<uint64_t> workers_respawned_{0};
   std::atomic<uint64_t> frames_replayed_{0};
   std::atomic<uint64_t> replay_spill_bytes_{0};
+  std::atomic<uint64_t> tape_hits_{0};
+  std::atomic<uint64_t> tape_builds_{0};
+  std::atomic<uint64_t> columns_read_{0};
+  std::atomic<uint64_t> blocks_pruned_{0};
 
   /// Non-null iff options_.dist.enabled(). Declared before pool_ so
   /// worker threads (which call into it) stop before it is destroyed;

@@ -1,0 +1,85 @@
+#ifndef JPAR_STORAGE_COLUMN_STORE_H_
+#define JPAR_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/item.h"
+
+namespace jpar {
+
+/// Comparison a SELECT directly above a DATASCAN applies to the scan's
+/// output column against a numeric constant, normalized so the column
+/// is always the left operand. The physical translator annotates it on
+/// the scan (ScanDesc); the executor's columnar access path uses it to
+/// prune whole blocks via zone maps before the SELECT runs. kNone means
+/// no prunable predicate was recognized.
+enum class ZoneCompare : uint8_t { kNone = 0, kEq, kLt, kLe, kGt, kGe };
+
+/// One block of a cached column: a run of consecutive values the
+/// building scan emitted for one (file, projected path), in emit order.
+/// `values` is ItemWriter-concatenated; `null_bitmap` marks rows whose
+/// value is JSON null. A block is `prunable` only when every value is
+/// numeric (no nulls, strings, or containers) and every int64 fits in
+/// 2^53 — the range where the double min/max zone map is exact, so a
+/// pruned block provably holds no row satisfying the predicate.
+struct ColumnBlock {
+  uint32_t rows = 0;
+  std::string values;
+  std::vector<uint64_t> null_bitmap;  // bit i set = row i is null
+  bool prunable = false;
+  double min = 0;
+  double max = 0;
+};
+
+/// A whole cached column for one (file, projected path). `skipped_records`
+/// is the degraded-scan skip count of the scan that built it: a lenient
+/// warm read reports it verbatim, a strict query refuses columns with a
+/// nonzero count (the cold path must surface the parse error instead).
+struct ColumnData {
+  std::vector<ColumnBlock> blocks;
+  uint64_t rows = 0;
+  uint64_t skipped_records = 0;
+  uint64_t bytes = 0;  // in-memory footprint, for budget accounting
+};
+
+/// Accumulates the items a projecting scan emits into column blocks.
+class ColumnBuilder {
+ public:
+  static constexpr uint32_t kDefaultBlockRows = 512;
+
+  explicit ColumnBuilder(uint32_t block_rows = kDefaultBlockRows)
+      : block_rows_(block_rows == 0 ? kDefaultBlockRows : block_rows) {}
+
+  void Add(const Item& item);
+
+  /// Seals the final block and returns the column. The builder is
+  /// spent afterwards.
+  ColumnData Finish(uint64_t skipped_records);
+
+ private:
+  void Seal();
+
+  uint32_t block_rows_;
+  ColumnData out_;
+  ColumnBlock cur_;
+  bool cur_all_numeric_ = true;
+  bool cur_has_value_ = false;
+};
+
+/// Conservative zone-map test: true when `block` may contain a row
+/// satisfying `column <op> value`. Non-prunable blocks always may.
+bool ZoneMayMatch(const ColumnBlock& block, ZoneCompare op, double value);
+
+/// Sidecar payload round-trip (the bytes after the file header; see
+/// DESIGN.md §14). Decode fully validates — block decode errors and row
+/// count mismatches return false — so a corrupt sidecar is a cache
+/// miss, never a wrong answer.
+void AppendColumnPayload(const ColumnData& column, std::string* out);
+bool ParseColumnPayload(std::string_view data, ColumnData* out);
+
+}  // namespace jpar
+
+#endif  // JPAR_STORAGE_COLUMN_STORE_H_

@@ -93,6 +93,9 @@ TEST(ProtocolTest, FragmentRequestRoundTrip) {
   req.exec.deadline_ms = 1500;
   req.exec.expr_mode = ExprMode::kBytecode;
   req.exec.batch_size = 512;
+  req.exec.storage_mode = StorageMode::kTape;
+  req.exec.storage_cache_dir = "/tmp/jpar-cache";
+  req.exec.storage_budget_bytes = 64ull << 20;
   req.stage_id = 2;
   req.worker_id = 3;
   req.worker_count = 4;
@@ -119,6 +122,9 @@ TEST(ProtocolTest, FragmentRequestRoundTrip) {
   EXPECT_EQ(got->exec.deadline_ms, 1500);
   EXPECT_EQ(got->exec.expr_mode, ExprMode::kBytecode);
   EXPECT_EQ(got->exec.batch_size, 512u);
+  EXPECT_EQ(got->exec.storage_mode, StorageMode::kTape);
+  EXPECT_EQ(got->exec.storage_cache_dir, "/tmp/jpar-cache");
+  EXPECT_EQ(got->exec.storage_budget_bytes, 64ull << 20);
   // Rules round-trip exactly: compare the canonical encodings.
   std::string a, b;
   EncodeRuleOptions(req.rules, &a);
@@ -135,6 +141,10 @@ TEST(ProtocolTest, OutputEofRoundTrip) {
   msg.stats.result_rows = 3;
   msg.stats.batches_emitted = 44;
   msg.stats.exprs_compiled = 5;
+  msg.stats.tape_hits = 6;
+  msg.stats.tape_builds = 7;
+  msg.stats.columns_read = 8;
+  msg.stats.blocks_pruned = 99;
   auto got = DecodeOutputEof(EncodeOutputEof(msg));
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_EQ(got->code, StatusCode::kDeadlineExceeded);
@@ -144,6 +154,10 @@ TEST(ProtocolTest, OutputEofRoundTrip) {
   EXPECT_EQ(got->stats.result_rows, 3u);
   EXPECT_EQ(got->stats.batches_emitted, 44u);
   EXPECT_EQ(got->stats.exprs_compiled, 5u);
+  EXPECT_EQ(got->stats.tape_hits, 6u);
+  EXPECT_EQ(got->stats.tape_builds, 7u);
+  EXPECT_EQ(got->stats.columns_read, 8u);
+  EXPECT_EQ(got->stats.blocks_pruned, 99u);
 }
 
 TEST(ProtocolTest, CancelAndCreditRoundTrip) {
