@@ -43,6 +43,7 @@ expected_json() {
     bench_dist_cluster)    echo "BENCH_dist_cluster.json" ;;
     bench_dist_recovery)   echo "BENCH_dist_recovery.json" ;;
     bench_table3_memory)   echo "BENCH_spill_memory.json" ;;
+    bench_cost_model)      echo "BENCH_cost_model.json" ;;
     bench_fig13_path_rules | bench_fig14_pipelining_rules)
                            echo "BENCH_expr_bytecode.json" ;;
     *) echo "" ;;
@@ -56,10 +57,11 @@ note_failure() {
   - $1"
 }
 
-# Nanosecond mtime (string), or "missing": a record counts as produced
-# only when its mtime moved during the bench run.
+# Nanosecond mtime plus byte size (string), or "missing": a record
+# counts as produced only when its mtime or size moved during the bench
+# run. Size catches same-timestamp rewrites on coarse-mtime filesystems.
 record_mtime() {
-  stat -c %y "$1" 2>/dev/null || echo missing
+  stat -c '%y %s' "$1" 2>/dev/null || echo missing
 }
 
 i=0

@@ -1,6 +1,7 @@
 #include "algebra/physical_translator.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace jpar {
@@ -48,7 +49,22 @@ Result<ScalarEvalPtr> CompileExpr(const LExprPtr& expr,
 struct NodeAndSchema {
   std::shared_ptr<PNode> node;
   Schema schema;
+  /// Trusted cardinality estimate flowing at this plan point, or -1.
+  /// Only ever set from stats the CostModel trusts, so downstream
+  /// decisions (build side, spill fanout) inherit that trust.
+  double est_rows = -1;
 };
+
+std::string FmtRows(double rows) {
+  if (rows < 0) return "?";
+  return std::to_string(static_cast<long long>(rows + 0.5));
+}
+
+std::string FmtSel(double sel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", sel);
+  return buf;
+}
 
 /// Compile-time zone-map annotation (DESIGN.md §14). When a SELECT
 /// sits directly on a DATASCAN and compares the scan's output column
@@ -139,6 +155,8 @@ class Translator {
     out.root = body.node;
     out.result_column = col;
     out.exprs_compiled = exprs_compiled_;
+    out.est_result_rows = body.est_rows;
+    out.cost_choices = std::move(cost_choices_);
     return out;
   }
 
@@ -165,6 +183,12 @@ class Translator {
     return ns;
   }
 
+  const CostModel* cost() const {
+    return options_.cost_model != nullptr && options_.cost_model->enabled()
+               ? options_.cost_model
+               : nullptr;
+  }
+
   Result<NodeAndSchema> TranslateOp(const LOpPtr& op) {
     if (op == nullptr) return Status::Internal("translating a null operator");
     switch (op->kind) {
@@ -186,6 +210,18 @@ class Translator {
         ns.node->scan.index_path = op->index_path;
         ns.node->scan.index_value = op->index_value;
         ns.schema.push_back(op->out_var);
+        if (cost() != nullptr) {
+          ScanEstimate est = cost()->EstimateScan(op->collection, op->steps);
+          if (est.from_stats) ns.node->scan.est_rows = est.rows;
+          if (cost()->Trust(est)) {
+            ns.est_rows = est.rows;
+            size_t hint = cost()->MorselBytesHint(est.bytes);
+            if (hint > 0) ns.node->scan.morsel_bytes_hint = hint;
+            cost_choices_.push_back("scan " + op->collection +
+                                    ": est-rows=" + FmtRows(est.rows) +
+                                    " morsel-hint=" + std::to_string(hint));
+          }
+        }
         return ns;
       }
       case LOpKind::kProject: {
@@ -219,9 +255,34 @@ class Translator {
         } else if (op->kind == LOpKind::kSelect) {
           ns.node->ops.push_back(MaybeCompile(UnaryOpDesc::Select(std::move(ev))));
           MaybeAnnotateZonePredicate(ns.node.get());
+          if (cost() != nullptr) {
+            double sel = CostModel::kDefaultSelectivity;
+            // A zone-annotated SELECT (necessarily this one: annotation
+            // requires a single-op pipeline on the scan) carries enough
+            // shape to estimate from the sampled value distribution —
+            // and, when selective, to route the scan to the columnar
+            // access path where zone maps can prune whole blocks.
+            if (ns.node->ops.size() == 1 &&
+                ns.node->scan.zone_op != ZoneCompare::kNone) {
+              ScanEstimate est = cost()->EstimateScan(ns.node->scan.collection,
+                                                      ns.node->scan.steps);
+              sel = cost()->EstimateSelectivity(est, ns.node->scan.zone_op,
+                                                ns.node->scan.zone_value);
+              if (cost()->Trust(est) &&
+                  sel <= CostModel::kColumnarSelectivity &&
+                  ns.node->scan.access_hint == AccessHint::kAny) {
+                ns.node->scan.access_hint = AccessHint::kColumnar;
+                cost_choices_.push_back("select on " +
+                                        ns.node->scan.collection + ": sel=" +
+                                        FmtSel(sel) + " -> columnar scan");
+              }
+            }
+            if (ns.est_rows >= 0) ns.est_rows *= sel;
+          }
         } else {
           ns.node->ops.push_back(UnaryOpDesc::Unnest(std::move(ev)));
           ns.schema.push_back(op->out_var);
+          ns.est_rows = -1;  // fan-out per row is unknown
         }
         return ns;
       }
@@ -251,6 +312,7 @@ class Translator {
         NodeAndSchema ns;
         ns.node = node;
         ns.schema = std::move(out_schema);
+        ns.est_rows = 1;  // a keyless aggregate emits exactly one row
         return ns;
       }
       case LOpKind::kGroupBy: {
@@ -282,6 +344,15 @@ class Translator {
           out_schema.push_back(a.var);
         }
         node->two_step = options_.two_step_aggregation && all_incremental;
+        if (cost() != nullptr && in.est_rows >= 0) {
+          int fanout = cost()->SpillFanoutHint(in.est_rows);
+          if (fanout > 0) {
+            node->spill_fanout_hint = fanout;
+            cost_choices_.push_back(
+                "group-by: est-input-rows=" + FmtRows(in.est_rows) +
+                " fanout-hint=" + std::to_string(fanout));
+          }
+        }
         NodeAndSchema ns;
         ns.node = node;
         ns.schema = std::move(out_schema);
@@ -301,6 +372,7 @@ class Translator {
         NodeAndSchema ns;
         ns.node = node;
         ns.schema = in.schema;  // sorting preserves the schema
+        ns.est_rows = in.est_rows;  // ... and the cardinality
         return ns;
       }
       case LOpKind::kJoin: {
@@ -326,9 +398,25 @@ class Translator {
           JPAR_ASSIGN_OR_RETURN(node->residual,
                                 CompileExpr(op->expr, out_schema));
         }
+        // Build-side choice: hash joins canonically build on the right;
+        // when both inputs carry trusted estimates and the left is
+        // clearly smaller, build there instead. The executor reproduces
+        // the canonical emit order either way (pair-sort), so this is
+        // an answer-preserving annotation like every other cost lever.
+        if (cost() != nullptr && !node->left_keys.empty() &&
+            left.est_rows >= 0 && right.est_rows >= 0 &&
+            left.est_rows <= right.est_rows * CostModel::kBuildFlipRatio) {
+          node->build_left = true;
+          cost_choices_.push_back("join: build=left (est " +
+                                  FmtRows(left.est_rows) + " vs " +
+                                  FmtRows(right.est_rows) + ")");
+        }
         NodeAndSchema ns;
         ns.node = node;
         ns.schema = std::move(out_schema);
+        if (left.est_rows >= 0 && right.est_rows >= 0) {
+          ns.est_rows = std::max(left.est_rows, right.est_rows);
+        }
         return ns;
       }
       case LOpKind::kNestedTupleSource:
@@ -397,6 +485,7 @@ class Translator {
 
   PhysicalOptions options_;
   uint64_t exprs_compiled_ = 0;
+  std::vector<std::string> cost_choices_;
 };
 
 }  // namespace

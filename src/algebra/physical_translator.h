@@ -5,6 +5,7 @@
 #include "algebra/rewriter.h"
 #include "common/result.h"
 #include "runtime/executor.h"
+#include "stats/cost_model.h"
 
 namespace jpar {
 
@@ -19,6 +20,13 @@ struct PhysicalOptions {
   /// vectorized. Off when the engine runs in ExprMode::kTree or the
   /// JPAR_DISABLE_EXPR_BYTECODE env kill-switch is set.
   bool compile_expr_bytecode = true;
+  /// Sampled-statistics cost model (DESIGN.md §15), or null. When set
+  /// and enabled, the translator attaches answer-preserving physical
+  /// annotations: scan access hints, morsel-size and spill-fanout
+  /// hints, and the hash-join build side. Plan *structure* never
+  /// depends on it — distributed workers recompile fragments against
+  /// their own stats and must produce the same operator tree.
+  const CostModel* cost_model = nullptr;
 };
 
 /// Lowers an optimized logical plan to the executor's physical plan:

@@ -29,7 +29,7 @@ RewriteEngine::RewriteEngine(RuleOptions options) : options_(options) {
 }
 
 Result<bool> RewriteEngine::RunRuleSet(
-    LogicalPlan* plan, const Catalog* catalog,
+    LogicalPlan* plan, const Catalog* catalog, const CostModel* cost_model,
     const std::vector<std::unique_ptr<RewriteRule>>& rules,
     std::vector<std::string>* fired) {
   bool any = false;
@@ -40,6 +40,7 @@ Result<bool> RewriteEngine::RunRuleSet(
     RewriteContext ctx;
     ctx.root = plan->root;
     ctx.catalog = catalog;
+    ctx.cost_model = cost_model;
     for (const std::unique_ptr<RewriteRule>& rule : rules) {
       JPAR_RETURN_NOT_OK(VisitOpSlots(
           plan->root, [&](LOpPtr& slot) -> Status {
@@ -62,7 +63,7 @@ Result<bool> RewriteEngine::RunRuleSet(
 }
 
 Result<std::vector<std::string>> RewriteEngine::Rewrite(
-    LogicalPlan* plan, const Catalog* catalog) {
+    LogicalPlan* plan, const Catalog* catalog, const CostModel* cost_model) {
   std::vector<std::string> fired;
   if (plan->root == nullptr) {
     return Status::InvalidArgument("rewriting an empty plan");
@@ -72,13 +73,16 @@ Result<std::vector<std::string>> RewriteEngine::Rewrite(
   // group-by rules last. Join extraction runs before everything so the
   // pipelining rules see the per-branch scans; index selection runs
   // last (it needs the fully pushed-down DATASCAN shape).
-  JPAR_ASSIGN_OR_RETURN(bool j, RunRuleSet(plan, catalog, join_rules_, &fired));
-  JPAR_ASSIGN_OR_RETURN(bool p, RunRuleSet(plan, catalog, path_rules_, &fired));
-  JPAR_ASSIGN_OR_RETURN(bool d,
-                        RunRuleSet(plan, catalog, pipelining_rules_, &fired));
-  JPAR_ASSIGN_OR_RETURN(bool g,
-                        RunRuleSet(plan, catalog, groupby_rules_, &fired));
-  JPAR_ASSIGN_OR_RETURN(bool x, RunRuleSet(plan, catalog, index_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(
+      bool j, RunRuleSet(plan, catalog, cost_model, join_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(
+      bool p, RunRuleSet(plan, catalog, cost_model, path_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(
+      bool d, RunRuleSet(plan, catalog, cost_model, pipelining_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(
+      bool g, RunRuleSet(plan, catalog, cost_model, groupby_rules_, &fired));
+  JPAR_ASSIGN_OR_RETURN(
+      bool x, RunRuleSet(plan, catalog, cost_model, index_rules_, &fired));
   (void)j;
   (void)p;
   (void)d;

@@ -48,12 +48,16 @@ struct RuleOptions {
   static RuleOptions All() { return RuleOptions(); }
 };
 
+class CostModel;
+
 /// Context handed to rules: access to the whole plan for variable-usage
 /// queries and substitutions, plus the catalog for metadata-dependent
-/// rules (index selection).
+/// rules (index selection) and the optional sampled-statistics cost
+/// model (DESIGN.md §15) for cost-aware ones.
 struct RewriteContext {
   LOpPtr root;
   const Catalog* catalog = nullptr;
+  const CostModel* cost_model = nullptr;
 };
 
 /// A single rewrite rule. Apply() examines the operator in `slot`
@@ -76,13 +80,17 @@ class RewriteEngine {
 
   /// Rewrites the plan in place (the root pointer may be replaced).
   /// Returns the names of rules that fired, in order. `catalog` (may be
-  /// null) enables metadata-dependent rules such as index selection.
-  Result<std::vector<std::string>> Rewrite(LogicalPlan* plan,
-                                           const Catalog* catalog = nullptr);
+  /// null) enables metadata-dependent rules such as index selection;
+  /// `cost_model` (may be null) lets those rules weigh their
+  /// annotations against sampled statistics.
+  Result<std::vector<std::string>> Rewrite(
+      LogicalPlan* plan, const Catalog* catalog = nullptr,
+      const CostModel* cost_model = nullptr);
 
  private:
   Result<bool> RunRuleSet(
       LogicalPlan* plan, const Catalog* catalog,
+      const CostModel* cost_model,
       const std::vector<std::unique_ptr<RewriteRule>>& rules,
       std::vector<std::string>* fired);
 

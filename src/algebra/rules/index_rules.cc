@@ -1,4 +1,5 @@
 #include "algebra/rewriter.h"
+#include "stats/cost_model.h"
 
 // Index selection — the reproduction's implementation of the paper's
 // future-work item (§6: "supporting indexing ... the searched data
@@ -79,6 +80,22 @@ class UsePathIndexRule : public RewriteRule {
                          chain_steps.end());
         if (!ctx->catalog->HasPathIndex(scan->collection, full_path)) {
           continue;
+        }
+        // Cost-aware veto (DESIGN.md §15): a common value matches most
+        // files, so the index probe saves little I/O while adding a
+        // lookup per file — keep the plain partitioned scan. The veto
+        // only withholds an annotation; the operator tree is identical
+        // either way, so worker-local stats divergence is safe.
+        if (ctx->cost_model != nullptr && ctx->cost_model->enabled() &&
+            constant->constant.is_numeric()) {
+          ScanEstimate est =
+              ctx->cost_model->EstimateScan(scan->collection, full_path);
+          if (ctx->cost_model->Trust(est) &&
+              ctx->cost_model->EstimateSelectivity(
+                  est, ZoneCompare::kEq, constant->constant.AsDouble()) >
+                  CostModel::kIndexVetoSelectivity) {
+            continue;
+          }
         }
         scan->use_index = true;
         scan->index_path = std::move(full_path);

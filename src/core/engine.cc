@@ -13,15 +13,28 @@ Result<CompiledQuery> Engine::Compile(std::string_view query) const {
 
 Result<CompiledQuery> Engine::Compile(std::string_view query,
                                       const RuleOptions& rules) const {
+  return Compile(query, rules, options_.exec);
+}
+
+Result<CompiledQuery> Engine::Compile(std::string_view query,
+                                      const RuleOptions& rules,
+                                      const ExecOptions& exec) const {
   JPAR_ASSIGN_OR_RETURN(AstPtr ast, ParseQuery(query));
   JPAR_ASSIGN_OR_RETURN(LogicalPlan plan, TranslateToLogical(ast));
 
   CompiledQuery compiled;
   compiled.original_plan = plan.ToString();
 
+  // The cost model lives for this compilation only: estimates are
+  // advisory annotations, so a plan compiled against stale or missing
+  // stats still returns identical answers (DESIGN.md §15).
+  StatsConfig stats_cfg;
+  stats_cfg.cache_dir = exec.storage_cache_dir;
+  CostModel cost_model(&catalog_, exec.stats_mode, std::move(stats_cfg));
+
   RewriteEngine rewriter(rules);
   JPAR_ASSIGN_OR_RETURN(compiled.fired_rules,
-                        rewriter.Rewrite(&plan, &catalog_));
+                        rewriter.Rewrite(&plan, &catalog_, &cost_model));
   // Algebricks-core variable pruning: always on, independent of the
   // JSONiq rule categories (see InsertProjections).
   JPAR_RETURN_NOT_OK(InsertProjections(&plan));
@@ -33,6 +46,7 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
   // cache) when the engine will never run them.
   popts.compile_expr_bytecode = options_.exec.expr_mode != ExprMode::kTree &&
                                 !ExprBytecodeDisabledByEnv();
+  popts.cost_model = &cost_model;
   JPAR_ASSIGN_OR_RETURN(compiled.physical, TranslateToPhysical(plan, popts));
   compiled.logical = std::move(plan);
   return compiled;

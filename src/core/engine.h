@@ -63,6 +63,15 @@ class Engine {
   Result<CompiledQuery> Compile(std::string_view query,
                                 const RuleOptions& rules) const;
 
+  /// Compile under explicit rule AND execution options. The exec
+  /// options select the sampled-statistics cost model (DESIGN.md §15):
+  /// exec.stats_mode and exec.storage_cache_dir seed a per-call
+  /// CostModel whose estimates annotate the physical plan. The other
+  /// Compile overloads use the engine-wide defaults.
+  Result<CompiledQuery> Compile(std::string_view query,
+                                const RuleOptions& rules,
+                                const ExecOptions& exec) const;
+
   /// Executes a compiled query against the catalog.
   Result<QueryOutput> Execute(const CompiledQuery& query) const;
 

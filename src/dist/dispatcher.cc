@@ -484,7 +484,8 @@ void Cluster::SenderLoop(Worker* worker, const std::string& query,
   req.fanout = stage.shuffled ? fanout : 0;
   req.num_inputs = static_cast<int>(stage.inputs.size());
   req.deadline_remaining_ms = deadline_remaining_ms;
-  req.credit_window = options_.credit_window;
+  req.credit_window =
+      query_credit_window_ != 0 ? query_credit_window_ : options_.credit_window;
   Status st = SendTo(&worker->send_mu, &worker->sock, MsgType::kRunFragment,
                      EncodeFragmentRequest(req));
   if (!st.ok()) {
@@ -620,7 +621,8 @@ Status Cluster::RunRound(
   std::vector<std::thread> senders;
   senders.reserve(participants.size());
   for (Worker* w : participants) {
-    w->send_window.Reset(options_.credit_window);
+    w->send_window.Reset(query_credit_window_ != 0 ? query_credit_window_
+                                                   : options_.credit_window);
     {
       std::lock_guard<std::mutex> lock(mu_);
       w->last_ping = std::chrono::steady_clock::now();
@@ -784,6 +786,20 @@ Result<QueryOutput> Cluster::Run(const std::string& query,
   JPAR_ASSIGN_OR_RETURN(StagePlan split,
                         SplitPlanForDistribution(compiled.physical));
   JPAR_RETURN_NOT_OK(SyncCatalog(catalog));
+
+  // Size the exchange credit window from the plan's cardinality
+  // estimate: a query the cost model expects to produce few rows does
+  // not need credit_window × frame_bytes of in-flight buffering per
+  // worker. Flow control only — credits pace sends, they never cap
+  // rows — so a bad estimate can slow the exchange but not change it.
+  query_credit_window_ = options_.credit_window;
+  if (compiled.physical.est_result_rows >= 0) {
+    double frames = compiled.physical.est_result_rows / 64.0 + 4.0;
+    if (frames < static_cast<double>(query_credit_window_)) {
+      query_credit_window_ =
+          static_cast<uint32_t>(frames < 4.0 ? 4.0 : frames);
+    }
+  }
 
   const int W = worker_count();
   auto start = std::chrono::steady_clock::now();

@@ -216,6 +216,12 @@ class Cluster {
 
   DistOptions options_;
   std::mutex query_mu_;  // one distributed query at a time
+  /// Per-query exchange credit window (guarded by query_mu_): the
+  /// configured DistOptions::credit_window, shrunk when the plan's
+  /// cost-model estimate says the result is small (DESIGN.md §15).
+  /// Pure flow control — a window is pacing, never a row limit — so a
+  /// wrong estimate costs throughput, not answers. 0 until first Run.
+  uint32_t query_credit_window_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool started_ = false;
   bool stopped_ = false;

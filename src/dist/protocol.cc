@@ -158,6 +158,7 @@ void EncodeExecOptions(const ExecOptions& exec, std::string* out) {
   out->push_back(static_cast<char>(exec.storage_mode));
   PutBytes(exec.storage_cache_dir, out);
   PutVarint(exec.storage_budget_bytes, out);
+  out->push_back(static_cast<char>(exec.stats_mode));
 }
 
 Status DecodeExecOptions(PayloadReader* r, ExecOptions* out) {
@@ -196,6 +197,8 @@ Status DecodeExecOptions(PayloadReader* r, ExecOptions* out) {
   out->storage_mode = static_cast<StorageMode>(storage_mode);
   JPAR_ASSIGN_OR_RETURN(out->storage_cache_dir, r->String());
   JPAR_ASSIGN_OR_RETURN(out->storage_budget_bytes, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(uint8_t stats_mode, r->Byte());
+  out->stats_mode = static_cast<StatsMode>(stats_mode);
   return Status::OK();
 }
 
@@ -264,6 +267,7 @@ void EncodeExecStats(const ExecStats& stats, std::string* out) {
   PutVarint(stats.tape_builds, out);
   PutVarint(stats.columns_read, out);
   PutVarint(stats.blocks_pruned, out);
+  PutVarint(stats.stats_paths_built, out);
 }
 
 Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
@@ -316,6 +320,7 @@ Status DecodeExecStats(PayloadReader* r, ExecStats* out) {
   JPAR_ASSIGN_OR_RETURN(out->tape_builds, r->Varint());
   JPAR_ASSIGN_OR_RETURN(out->columns_read, r->Varint());
   JPAR_ASSIGN_OR_RETURN(out->blocks_pruned, r->Varint());
+  JPAR_ASSIGN_OR_RETURN(out->stats_paths_built, r->Varint());
   return Status::OK();
 }
 

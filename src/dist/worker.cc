@@ -66,15 +66,17 @@ Status WorkerServer::Serve(Socket sock) {
 }
 
 Result<WorkerServer::PlanEntry*> WorkerServer::GetPlan(
-    const std::string& query, const RuleOptions& rules) {
+    const std::string& query, const RuleOptions& rules,
+    const ExecOptions& exec) {
   std::string key;
   EncodeRuleOptions(rules, &key);
+  key.push_back(static_cast<char>('0' + static_cast<int>(exec.stats_mode)));
   key.push_back('\0');
   key += query;
   auto it = plan_cache_.find(key);
   if (it != plan_cache_.end()) return it->second.get();
   auto entry = std::make_unique<PlanEntry>();
-  JPAR_ASSIGN_OR_RETURN(entry->compiled, engine_.Compile(query, rules));
+  JPAR_ASSIGN_OR_RETURN(entry->compiled, engine_.Compile(query, rules, exec));
   JPAR_ASSIGN_OR_RETURN(entry->split,
                         SplitPlanForDistribution(entry->compiled.physical));
   PlanEntry* raw = entry.get();
@@ -177,7 +179,7 @@ Status WorkerServer::HandleFragment(Socket* sock, std::mutex* send_mu,
 
   PlanEntry* plan = nullptr;
   {
-    Result<PlanEntry*> p = GetPlan(req.query, req.rules);
+    Result<PlanEntry*> p = GetPlan(req.query, req.rules, req.exec);
     if (!p.ok()) {
       frag = p.status();
     } else {

@@ -42,10 +42,14 @@ class WorkerServer {
   };
 
   /// Compile (or fetch the cached compilation of) query+rules and its
-  /// stage split. The cache key includes the rule bitmask: the same
-  /// query under different rules yields different plans.
+  /// stage split. The cache key includes the rule bitmask and the
+  /// request's stats_mode: the same query under different rules yields
+  /// different plans, and cost annotations follow the session's stats
+  /// mode. Worker-local stats may diverge from the dispatcher's — safe
+  /// because cost levers never change plan structure (DESIGN.md §15).
   Result<PlanEntry*> GetPlan(const std::string& query,
-                             const RuleOptions& rules);
+                             const RuleOptions& rules,
+                             const ExecOptions& exec);
 
   /// One kRunFragment round-trip. Fragment-level failures (bad stage,
   /// execution errors, cancel, deadline) are reported via kOutputEof

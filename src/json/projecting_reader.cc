@@ -195,7 +195,10 @@ Status ProjectJson(std::string_view text, const std::vector<PathStep>& steps,
   if (!cursor.AtEnd()) {
     return cursor.ErrorHere("trailing characters after JSON document");
   }
-  if (stats != nullptr) stats->bytes_scanned += text.size();
+  if (stats != nullptr) {
+    stats->bytes_scanned += text.size();
+    ++stats->documents;
+  }
   return Status::OK();
 }
 
@@ -234,6 +237,7 @@ Status ProjectJsonStreamWithIndex(std::string_view text,
     Projector projector(&cursor, steps, sink, stats);
     while (!cursor.AtEnd()) {
       JPAR_RETURN_NOT_OK(projector.Project(0, 0));
+      if (stats != nullptr) ++stats->documents;
     }
     if (stats != nullptr) stats->bytes_scanned += text.size();
     return Status::OK();
@@ -267,6 +271,7 @@ Status ProjectJsonStreamWithIndex(std::string_view text,
     cursor.SkipWhitespace();
     size_t record_start = cursor.position();
     Projector projector(&cursor, steps, sink, stats);
+    if (stats != nullptr) ++stats->documents;
     Status st = projector.Project(0, 0);
     if (!st.ok()) {
       if (st.code() != StatusCode::kParseError) return st;

@@ -58,6 +58,7 @@ struct ProjectionStats {
   uint64_t bytes_scanned = 0;      // total input bytes consumed
   uint64_t items_emitted = 0;      // items delivered to the sink
   uint64_t bytes_materialized = 0;  // estimated bytes of emitted items
+  uint64_t documents = 0;  // top-level documents scanned (incl. skipped)
 };
 
 /// Streams the items selected by `steps` out of a JSON document without

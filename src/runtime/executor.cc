@@ -56,6 +56,33 @@ bool FileCacheable(const JsonFile& file) {
   return !file.is_binary() && !file.in_memory() && !file.path().empty();
 }
 
+/// Narrows the resolved storage policy by the plan's access hint
+/// (DESIGN.md §15). Hints can only subtract levels — a disabled cache
+/// stays disabled regardless of what the planner believed.
+StoragePolicy ApplyAccessHint(StoragePolicy base, AccessHint hint) {
+  switch (hint) {
+    case AccessHint::kAny:
+    case AccessHint::kColumnar:  // columnar is already the first choice
+      return base;
+    case AccessHint::kTape:
+      return {base.tapes, false};
+    case AccessHint::kCold:
+      return {};
+  }
+  return base;
+}
+
+/// Whether scans under these options sample PathStats as they parse.
+bool StatsBuildEnabled(const ExecOptions& options) {
+  return StatsEnabled(options.stats_mode);
+}
+
+StatsConfig ResolveStatsConfig(const ExecOptions& options) {
+  StatsConfig cfg;
+  cfg.cache_dir = options.storage_cache_dir;
+  return cfg;
+}
+
 /// Serves one file's scan from a cached column: decodes each block's
 /// values in the original emit order, skipping blocks the zone map
 /// proves cannot satisfy the scan's annotated SELECT predicate. The
@@ -278,15 +305,33 @@ class SpillableGroupTable {
       paths.push_back(w->path());
     }
     writers_.clear();
+    std::vector<KeyedTuple> keyed;
     for (const std::string& path : paths) {
-      JPAR_RETURN_NOT_OK(MergeBucket(path, 0, out));
+      JPAR_RETURN_NOT_OK(MergeBucket(path, 0, &keyed));
     }
+    // Canonical spilled emit order, independent of the fanout: groups
+    // come back bucket by bucket, and bucket boundaries move with the
+    // fanout (which the cost model may hint), so raw bucket order
+    // would leak a pure performance knob into the answer. Encoded
+    // group keys are unique, so the sort is total and tie-free.
+    std::sort(keyed.begin(), keyed.end(),
+              [](const KeyedTuple& a, const KeyedTuple& b) {
+                return a.key < b.key;
+              });
+    out->reserve(out->size() + keyed.size());
+    for (KeyedTuple& kt : keyed) out->push_back(std::move(kt.tuple));
     return Status::OK();
   }
 
   bool spilled() const { return !writers_.empty() || spilled_once_; }
 
  private:
+  /// A finished group plus the encoded key it merged under; the key
+  /// survives to Emit() so the final order can be canonicalized.
+  struct KeyedTuple {
+    std::string key;
+    Tuple tuple;
+  };
   Status Check(const char* stage) const {
     return ctx_ != nullptr ? ctx_->Check(stage) : Status::OK();
   }
@@ -324,7 +369,7 @@ class SpillableGroupTable {
   }
 
   Status MergeBucket(const std::string& path, int depth,
-                     std::vector<Tuple>* out) {
+                     std::vector<KeyedTuple>* out) {
     if (merge_passes_ != nullptr) ++*merge_passes_;
     JPAR_ASSIGN_OR_RETURN(std::unique_ptr<SpillRunReader> reader,
                           spill_->OpenRun(path));
@@ -378,7 +423,7 @@ class SpillableGroupTable {
         JPAR_ASSIGN_OR_RETURN(Item v, agg->Finish());
         t.push_back(std::move(v));
       }
-      out->push_back(std::move(t));
+      out->push_back({key, std::move(t)});
     }
     memory_->Release(allocated);
     spill_->Remove(path);
@@ -391,7 +436,8 @@ class SpillableGroupTable {
   Status Repartition(std::unique_ptr<SpillRunReader> reader,
                      const std::string& path,
                      std::unordered_map<std::string, GroupState>* table,
-                     uint64_t allocated, int depth, std::vector<Tuple>* out) {
+                     uint64_t allocated, int depth,
+                     std::vector<KeyedTuple>* out) {
     uint32_t salt = static_cast<uint32_t>(depth) + 1;
     std::vector<std::unique_ptr<SpillRunWriter>> subs(
         static_cast<size_t>(fanout_));
@@ -505,7 +551,9 @@ std::string PNode::ToString(int indent) const {
         if (i) out += " and ";
         out += left_keys[i]->ToString() + " == " + right_keys[i]->ToString();
       }
-      out += "]\n";
+      out += "]";
+      if (build_left) out += " [build: left]";
+      out += "\n";
       out += left->ToString(indent + 2);
       out += right->ToString(indent + 2);
       return out;
@@ -607,12 +655,21 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
   std::vector<uint64_t> task_tape_builds(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_columns_read(static_cast<size_t>(pcount), 0);
   std::vector<uint64_t> task_blocks_pruned(static_cast<size_t>(pcount), 0);
+  std::vector<uint64_t> task_stats_built(static_cast<size_t>(pcount), 0);
   const bool lenient_scan =
       options_.on_parse_error == ParseErrorPolicy::kSkipAndCount;
   // Warm-storage access-path selection (DESIGN.md §14), per file below:
   // columnar read when the projected path is cached, tape-accelerated
-  // scan when the stage-1 index is cached, cold scan otherwise.
-  const StoragePolicy storage = ResolveStoragePolicy(options_);
+  // scan when the stage-1 index is cached, cold scan otherwise. The
+  // plan's cost-model access hint can only narrow what the options
+  // allow (DESIGN.md §15).
+  const StoragePolicy storage = ApplyAccessHint(
+      ResolveStoragePolicy(options_),
+      leaf && node.scan.kind == ScanDesc::Kind::kDataScan
+          ? node.scan.access_hint
+          : AccessHint::kAny);
+  const bool stats_build = StatsBuildEnabled(options_);
+  const StatsConfig stats_cfg = ResolveStatsConfig(options_);
   const StorageConfig storage_cfg{options_.storage_budget_bytes,
                                   options_.storage_cache_dir};
   const std::string scan_path_str =
@@ -713,9 +770,34 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
             if (lenient_scan) {
               task_skipped[static_cast<size_t>(p)] += col->skipped_records;
             }
-            st = EmitColumn(*col, node.scan, emit,
+            // Stats tee on the columnar path too: the column replays
+            // every item the building scan emitted, so the sample is
+            // identical to a parsing scan's — except under zone
+            // pruning, which drops blocks and would bias it (skipped).
+            std::unique_ptr<PathStats> col_stats;
+            FileSignature col_sig;
+            if (stats_build && node.scan.zone_op == ZoneCompare::kNone &&
+                StatsStore::Instance().Get(file.path(), scan_path_str,
+                                           stats_cfg) == nullptr) {
+              auto fresh = StatFileSignature(file.path());
+              if (fresh.ok()) {
+                col_sig = *fresh;
+                col_stats = std::make_unique<PathStats>();
+                col_stats->file_bytes = col_sig.size;
+              }
+            }
+            auto col_emit = [&](Item item) -> Status {
+              if (col_stats != nullptr) col_stats->Observe(item);
+              return emit(std::move(item));
+            };
+            st = EmitColumn(*col, node.scan, col_emit,
                             &task_blocks_pruned[static_cast<size_t>(p)]);
             if (!st.ok()) break;
+            if (col_stats != nullptr) {
+              StatsStore::Instance().Put(file.path(), scan_path_str,
+                                         *col_stats, col_sig, stats_cfg);
+              ++task_stats_built[static_cast<size_t>(p)];
+            }
             continue;
           }
         }
@@ -757,6 +839,28 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
         if (cacheable && storage.columns && have_sig) {
           builder = std::make_unique<ColumnBuilder>();
         }
+        // Stats tee (DESIGN.md §15): the same parsing pass samples
+        // PathStats for the planner, once per (file, path) and only
+        // while no fresh sample exists.
+        std::unique_ptr<PathStats> stats_builder;
+        FileSignature stats_sig = sig;
+        if (stats_build && FileCacheable(file)) {
+          bool have_stats_sig = have_sig;
+          if (!have_stats_sig) {
+            auto fresh = StatFileSignature(file.path());
+            if (fresh.ok()) {
+              stats_sig = *fresh;
+              have_stats_sig = true;
+            }
+          }
+          if (have_stats_sig &&
+              StatsStore::Instance().Get(file.path(), scan_path_str,
+                                         stats_cfg) == nullptr) {
+            stats_builder = std::make_unique<PathStats>();
+            stats_builder->file_bytes = stats_sig.size;
+          }
+        }
+        ProjectionStats scan_pstats;
         uint64_t skipped_before = task_skipped[static_cast<size_t>(p)];
         // Collection files are document streams: one document or many
         // (NDJSON / concatenated JSON). In lenient mode malformed
@@ -765,9 +869,10 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
             *text, node.scan.steps, tape.get(), 0,
             [&](Item item) -> Status {
               if (builder != nullptr) builder->Add(item);
+              if (stats_builder != nullptr) stats_builder->Observe(item);
               return emit(std::move(item));
             },
-            nullptr,
+            stats_builder != nullptr ? &scan_pstats : nullptr,
             lenient_scan ? &task_skipped[static_cast<size_t>(p)] : nullptr,
             options_.scan_mode);
         if (!st.ok()) break;
@@ -777,6 +882,12 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
               builder->Finish(task_skipped[static_cast<size_t>(p)] -
                               skipped_before),
               sig, storage_cfg);
+        }
+        if (stats_builder != nullptr) {
+          stats_builder->documents = scan_pstats.documents;
+          StatsStore::Instance().Put(file.path(), scan_path_str,
+                                     *stats_builder, stats_sig, stats_cfg);
+          ++task_stats_built[static_cast<size_t>(p)];
         }
       }
     } else if (st.ok() && leaf) {
@@ -821,6 +932,7 @@ Result<Executor::PartitionSet> Executor::ExecPipeline(
     stats->tape_builds += task_tape_builds[static_cast<size_t>(p)];
     stats->columns_read += task_columns_read[static_cast<size_t>(p)];
     stats->blocks_pruned += task_blocks_pruned[static_cast<size_t>(p)];
+    stats->stats_paths_built += task_stats_built[static_cast<size_t>(p)];
     stage.pipeline_bytes += task_boundary_bytes[static_cast<size_t>(p)];
     if (task_max_tuple[static_cast<size_t>(p)] > stage.max_tuple_bytes) {
       stage.max_tuple_bytes = task_max_tuple[static_cast<size_t>(p)];
@@ -861,6 +973,10 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     const JsonFile* file = nullptr;
     FileSignature sig;
     bool build_column = false;
+    // Stats tee (DESIGN.md §15): split files still sample — per-morsel
+    // partials merge in task order after the join, unlike columns.
+    bool build_stats = false;
+    FileSignature stats_sig;
   };
   // Private per-morsel result slot; nothing is shared between workers
   // until the post-join merge.
@@ -875,15 +991,29 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
     uint64_t batches = 0;
     uint64_t blocks_pruned = 0;
     bool ran = false;
+    PathStats path_stats;
+    bool built_stats = false;
   };
 
   // Warm-storage access-path selection runs here on the coordinator
   // (tape acquisition and column lookup are serialized, never raced by
   // the worker pool); workers only consume the resulting shared_ptrs.
-  const StoragePolicy storage = ResolveStoragePolicy(options_);
+  // The plan's cost-model access hint narrows, never widens, what the
+  // options allow (DESIGN.md §15).
+  const StoragePolicy storage =
+      ApplyAccessHint(ResolveStoragePolicy(options_), node.scan.access_hint);
   const StorageConfig storage_cfg{options_.storage_budget_bytes,
                                   options_.storage_cache_dir};
   const std::string scan_path_str = PathToString(node.scan.steps);
+  const bool stats_build = StatsBuildEnabled(options_);
+  const StatsConfig stats_cfg = ResolveStatsConfig(options_);
+  // Cost-model morsel sizing applies only while the user left
+  // morsel_bytes at its default — an explicit knob always wins.
+  size_t morsel_bytes = options_.morsel_bytes;
+  if (node.scan.morsel_bytes_hint > 0 &&
+      morsel_bytes == ExecOptions::kDefaultMorselBytes) {
+    morsel_bytes = node.scan.morsel_bytes_hint;
+  }
 
   size_t file_count =
       file_filter != nullptr ? file_filter->size() : coll.files.size();
@@ -913,6 +1043,20 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
                col != nullptr && (lenient || col->skipped_records == 0)) {
       // Columnar-served file: one task, no JSON bytes, no splitting.
       m.column = std::move(col);
+      m.file = &file;
+      // Columnar scans sample stats too (same tee as the sequential
+      // path); zone pruning drops blocks and would bias the sample, so
+      // pruned reads don't.
+      if (stats_build && node.scan.zone_op == ZoneCompare::kNone &&
+          FileCacheable(file) &&
+          StatsStore::Instance().Get(file.path(), scan_path_str,
+                                     stats_cfg) == nullptr) {
+        auto fresh = StatFileSignature(file.path());
+        if (fresh.ok()) {
+          m.stats_sig = *fresh;
+          m.build_stats = true;
+        }
+      }
       ++stats->columns_read;
       tasks.push_back(m);
     } else {
@@ -940,6 +1084,28 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
       // Unsplit cacheable files learn their column during this scan;
       // split files don't (per-morsel fragments are not a whole column).
       m.build_column = cacheable && storage.columns && have_sig;
+      if (stats_build && FileCacheable(file)) {
+        bool have_stats_sig = have_sig;
+        m.stats_sig = m.sig;
+        if (!have_stats_sig) {
+          auto fresh = StatFileSignature(file.path());
+          if (fresh.ok()) {
+            m.stats_sig = *fresh;
+            have_stats_sig = true;
+          }
+        }
+        m.build_stats =
+            have_stats_sig &&
+            StatsStore::Instance().Get(file.path(), scan_path_str,
+                                       stats_cfg) == nullptr;
+      }
+      // A kColumnar access hint pins a column-learnable file to a
+      // single morsel so the column actually materializes this scan
+      // (split morsels can't build columns); morsel boundaries never
+      // change results, only scheduling, so the trade is pure
+      // investment.
+      const bool invest_columnar =
+          m.build_column && node.scan.access_hint == AccessHint::kColumnar;
       const char* base = m.text->data();
       size_t n = m.text->size();
       size_t begin = 0;
@@ -947,12 +1113,12 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
         Morsel part = m;
         part.begin = begin;
         size_t end = n;
-        if (options_.morsel_bytes > 0 &&
-            begin + options_.morsel_bytes < n) {
+        if (!invest_columnar && morsel_bytes > 0 &&
+            begin + morsel_bytes < n) {
           // Newline-aligned split: end after the first '\n' at or past
           // the size target (same raw-byte newlines the degraded scan
           // resyncs on).
-          size_t target = begin + options_.morsel_bytes - 1;
+          size_t target = begin + morsel_bytes - 1;
           const void* nl = std::memchr(base + target, '\n', n - target);
           end = nl == nullptr
                     ? n
@@ -1027,7 +1193,16 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
         // blocks against the scan's annotated SELECT predicate.
         slot->bytes += m.column->bytes;
         if (lenient) slot->skipped += m.column->skipped_records;
-        st = EmitColumn(*m.column, node.scan, emit, &slot->blocks_pruned);
+        std::function<Status(Item)> col_emit = emit;
+        if (m.build_stats) {
+          col_emit = [&](Item item) -> Status {
+            slot->path_stats.Observe(item);
+            return emit(std::move(item));
+          };
+        }
+        st = EmitColumn(*m.column, node.scan, col_emit,
+                        &slot->blocks_pruned);
+        if (st.ok() && m.build_stats) slot->built_stats = true;
       } else {
         std::string_view view(*m.text);
         view = view.substr(m.begin, m.end - m.begin);
@@ -1038,20 +1213,27 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
         std::unique_ptr<ColumnBuilder> builder;
         if (m.build_column) builder = std::make_unique<ColumnBuilder>();
         std::function<Status(Item)> scan_emit = emit;
-        if (builder != nullptr) {
+        if (builder != nullptr || m.build_stats) {
           scan_emit = [&](Item item) -> Status {
-            builder->Add(item);
+            if (builder != nullptr) builder->Add(item);
+            if (m.build_stats) slot->path_stats.Observe(item);
             return emit(std::move(item));
           };
         }
+        ProjectionStats scan_pstats;
         st = ProjectJsonStreamWithIndex(view, node.scan.steps, m.tape.get(),
-                                        m.begin, scan_emit, nullptr,
+                                        m.begin, scan_emit,
+                                        m.build_stats ? &scan_pstats : nullptr,
                                         lenient ? &slot->skipped : nullptr,
                                         options_.scan_mode);
         if (st.ok() && builder != nullptr) {
           StorageManager::Instance().PutColumn(
               m.file->path(), scan_path_str, builder->Finish(slot->skipped),
               m.sig, storage_cfg);
+        }
+        if (st.ok() && m.build_stats) {
+          slot->path_stats.documents = scan_pstats.documents;
+          slot->built_stats = true;
         }
       }
       if (st.ok() && pipe != nullptr) st = pipe->Finish();
@@ -1130,6 +1312,28 @@ Result<Executor::PartitionSet> Executor::ExecDataScanMorsels(
   }
   for (const Slot& slot : slots) {
     JPAR_RETURN_NOT_OK(slot.status);
+  }
+
+  // Install sampled stats: per-morsel partials merge in task order into
+  // one whole-file sample (the register-max sketch merge makes the
+  // result independent of which worker ran which morsel). After a
+  // strict-mode fallback only the whole-file slot carries a sample.
+  for (size_t i = 0; i < file_count; ++i) {
+    size_t first = file_first_task[i];
+    size_t endt = first + file_task_count[i];
+    if (endt <= first || !tasks[first].build_stats) continue;
+    PathStats merged;
+    bool any = false;
+    for (size_t t = first; t < endt; ++t) {
+      if (!slots[t].built_stats) continue;
+      merged.MergeFrom(slots[t].path_stats);
+      any = true;
+    }
+    if (!any) continue;
+    merged.file_bytes = tasks[first].stats_sig.size;
+    StatsStore::Instance().Put(tasks[first].file->path(), scan_path_str,
+                               merged, tasks[first].stats_sig, stats_cfg);
+    ++stats->stats_paths_built;
   }
 
   PartitionSet output;
@@ -1288,7 +1492,7 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
       // O(1)); with spilling on, growth counts against the budget too.
       SpillableGroupTable table(node.aggs, AggStep::kLocal, &memory,
                                 /*track_growth=*/spilling, ctx_,
-                                spill_mgr.get(), options_.spill_fanout,
+                                spill_mgr.get(), EffectiveSpillFanout(node),
                                 memory.ShareOf(input.parts.size()),
                                 &merge_passes);
       std::string encoded;
@@ -1344,7 +1548,7 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
     AggStep step = can_two_step ? AggStep::kGlobal : AggStep::kComplete;
     SpillableGroupTable table(node.aggs, step, &memory,
                               /*track_growth=*/true, ctx_, spill_mgr.get(),
-                              options_.spill_fanout,
+                              EffectiveSpillFanout(node),
                               memory.ShareOf(exchanged.parts.size()),
                               &merge_passes);
     std::string encoded;
@@ -1386,6 +1590,87 @@ Result<Executor::PartitionSet> Executor::ExecGroupBy(
   return output;
 }
 
+Status Executor::JoinOnePartition(const PNode& node,
+                                  const std::vector<Tuple>& left,
+                                  const std::vector<Tuple>& right,
+                                  EvalContext* ctx, MemoryTracker* memory,
+                                  std::vector<Tuple>* out) const {
+  std::unordered_map<std::string, std::vector<size_t>> table;
+  std::string encoded;
+  // Cost-model flip (DESIGN.md §15): hash the estimated-smaller side.
+  // Output order must not depend on the choice — see the index-pair
+  // sort below — because distributed workers may compile the same
+  // query against different stats.
+  const bool build_left = node.build_left;
+  const std::vector<Tuple>& build = build_left ? left : right;
+  const std::vector<ScalarEvalPtr>& build_keys =
+      build_left ? node.left_keys : node.right_keys;
+  for (size_t i = 0; i < build.size(); ++i) {
+    if ((i + 1) % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("join build"));
+    }
+    JPAR_RETURN_NOT_OK(EncodeKey(build_keys, build[i], ctx, &encoded,
+                                 nullptr));
+    table[encoded].push_back(i);
+    JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
+    JPAR_RETURN_NOT_OK(
+        memory->Allocate(TupleSizeBytes(build[i]) + encoded.size()));
+  }
+  auto emit = [&](const Tuple& l, const Tuple& r) -> Status {
+    Tuple joined = l;
+    joined.insert(joined.end(), r.begin(), r.end());
+    if (node.residual != nullptr) {
+      JPAR_ASSIGN_OR_RETURN(Item cond, node.residual->Eval(joined, ctx));
+      JPAR_ASSIGN_OR_RETURN(bool keep, cond.EffectiveBooleanValue());
+      if (!keep) return Status::OK();
+    }
+    out->push_back(std::move(joined));
+    return Status::OK();
+  };
+  uint64_t probed = 0;
+  if (!build_left) {
+    // Canonical: probe with the left side, in order.
+    for (const Tuple& probe : left) {
+      if (++probed % kCheckIntervalTuples == 0) {
+        JPAR_RETURN_NOT_OK(Interrupted("join probe"));
+      }
+      JPAR_RETURN_NOT_OK(
+          EncodeKey(node.left_keys, probe, ctx, &encoded, nullptr));
+      auto it = table.find(encoded);
+      if (it == table.end()) continue;
+      for (size_t i : it->second) {
+        JPAR_RETURN_NOT_OK(emit(probe, right[i]));
+      }
+    }
+    return Status::OK();
+  }
+  // Flipped build: probe with the right side collecting (left, right)
+  // index pairs, then sort them. The canonical loop emits pairs in
+  // lexicographic (left index, right index) order — bucket vectors hold
+  // ascending indices — so the sorted pairs materialize the exact same
+  // output sequence with the hash table on the smaller side.
+  std::vector<std::pair<size_t, size_t>> matches;
+  for (size_t r = 0; r < right.size(); ++r) {
+    if (++probed % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("join probe"));
+    }
+    JPAR_RETURN_NOT_OK(
+        EncodeKey(node.right_keys, right[r], ctx, &encoded, nullptr));
+    auto it = table.find(encoded);
+    if (it == table.end()) continue;
+    for (size_t l : it->second) matches.emplace_back(l, r);
+  }
+  std::sort(matches.begin(), matches.end());
+  uint64_t emitted = 0;
+  for (const auto& [l, r] : matches) {
+    if (++emitted % kCheckIntervalTuples == 0) {
+      JPAR_RETURN_NOT_OK(Interrupted("join emit"));
+    }
+    JPAR_RETURN_NOT_OK(emit(left[l], right[r]));
+  }
+  return Status::OK();
+}
+
 Result<Executor::PartitionSet> Executor::ExecJoin(const PNode& node,
                                                   ExecStats* stats) const {
   JPAR_ASSIGN_OR_RETURN(PartitionSet left, Exec(*node.left, stats));
@@ -1411,48 +1696,15 @@ Result<Executor::PartitionSet> Executor::ExecJoin(const PNode& node,
   stage.partition_ms.assign(left_ex.parts.size(), 0.0);
   PartitionSet output;
   output.parts.assign(left_ex.parts.size(), {});
+  (void)nkeys;
   for (size_t p = 0; p < left_ex.parts.size(); ++p) {
     auto start = Clock::now();
     EvalContext ctx;
     ctx.catalog = catalog_;
     ctx.memory = &memory;
-    // Build on the right side.
-    std::unordered_map<std::string, std::vector<size_t>> table;
-    std::string encoded;
-    const std::vector<Tuple>& build = right_ex.parts[p];
-    for (size_t i = 0; i < build.size(); ++i) {
-      if ((i + 1) % kCheckIntervalTuples == 0) {
-        JPAR_RETURN_NOT_OK(Interrupted("join build"));
-      }
-      JPAR_RETURN_NOT_OK(
-          EncodeKey(node.right_keys, build[i], &ctx, &encoded, nullptr));
-      table[encoded].push_back(i);
-      JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
-      JPAR_RETURN_NOT_OK(
-          memory.Allocate(TupleSizeBytes(build[i]) + encoded.size()));
-    }
-    (void)nkeys;
-    // Probe with the left side.
-    uint64_t probed = 0;
-    for (const Tuple& probe : left_ex.parts[p]) {
-      if (++probed % kCheckIntervalTuples == 0) {
-        JPAR_RETURN_NOT_OK(Interrupted("join probe"));
-      }
-      JPAR_RETURN_NOT_OK(
-          EncodeKey(node.left_keys, probe, &ctx, &encoded, nullptr));
-      auto it = table.find(encoded);
-      if (it == table.end()) continue;
-      for (size_t i : it->second) {
-        Tuple joined = probe;
-        joined.insert(joined.end(), build[i].begin(), build[i].end());
-        if (node.residual != nullptr) {
-          JPAR_ASSIGN_OR_RETURN(Item cond, node.residual->Eval(joined, &ctx));
-          JPAR_ASSIGN_OR_RETURN(bool keep, cond.EffectiveBooleanValue());
-          if (!keep) continue;
-        }
-        output.parts[p].push_back(std::move(joined));
-      }
-    }
+    JPAR_RETURN_NOT_OK(JoinOnePartition(node, left_ex.parts[p],
+                                        right_ex.parts[p], &ctx, &memory,
+                                        &output.parts[p]));
     memory.Release(memory.current_bytes());
     stage.partition_ms[p] = ElapsedMs(start);
   }
@@ -1741,7 +1993,7 @@ Result<std::vector<Tuple>> Executor::GroupByLocal(
   ctx.memory = &memory;
   SpillableGroupTable table(node.aggs, AggStep::kLocal, &memory,
                             /*track_growth=*/spilling, ctx_, spill_mgr.get(),
-                            options_.spill_fanout, memory.ShareOf(1),
+                            EffectiveSpillFanout(node), memory.ShareOf(1),
                             &merge_passes);
   std::string encoded;
   Tuple key_items;
@@ -1803,7 +2055,7 @@ Result<std::vector<Tuple>> Executor::GroupByGlobal(
   AggStep step = from_partials ? AggStep::kGlobal : AggStep::kComplete;
   SpillableGroupTable table(node.aggs, step, &memory,
                             /*track_growth=*/true, ctx_, spill_mgr.get(),
-                            options_.spill_fanout, memory.ShareOf(1),
+                            EffectiveSpillFanout(node), memory.ShareOf(1),
                             &merge_passes);
   std::string encoded;
   Tuple key_items;
@@ -1848,40 +2100,8 @@ Result<std::vector<Tuple>> Executor::JoinPartition(
   EvalContext ctx;
   ctx.catalog = catalog_;
   ctx.memory = &memory;
-  std::unordered_map<std::string, std::vector<size_t>> table;
-  std::string encoded;
-  for (size_t i = 0; i < right.size(); ++i) {
-    if ((i + 1) % kCheckIntervalTuples == 0) {
-      JPAR_RETURN_NOT_OK(Interrupted("join build"));
-    }
-    JPAR_RETURN_NOT_OK(
-        EncodeKey(node.right_keys, right[i], &ctx, &encoded, nullptr));
-    table[encoded].push_back(i);
-    JPAR_RETURN_NOT_OK(Fault(FaultInjector::kAllocFail));
-    JPAR_RETURN_NOT_OK(
-        memory.Allocate(TupleSizeBytes(right[i]) + encoded.size()));
-  }
   std::vector<Tuple> out;
-  uint64_t probed = 0;
-  for (const Tuple& probe : left) {
-    if (++probed % kCheckIntervalTuples == 0) {
-      JPAR_RETURN_NOT_OK(Interrupted("join probe"));
-    }
-    JPAR_RETURN_NOT_OK(
-        EncodeKey(node.left_keys, probe, &ctx, &encoded, nullptr));
-    auto it = table.find(encoded);
-    if (it == table.end()) continue;
-    for (size_t i : it->second) {
-      Tuple joined = probe;
-      joined.insert(joined.end(), right[i].begin(), right[i].end());
-      if (node.residual != nullptr) {
-        JPAR_ASSIGN_OR_RETURN(Item cond, node.residual->Eval(joined, &ctx));
-        JPAR_ASSIGN_OR_RETURN(bool keep, cond.EffectiveBooleanValue());
-        if (!keep) continue;
-      }
-      out.push_back(std::move(joined));
-    }
-  }
+  JPAR_RETURN_NOT_OK(JoinOnePartition(node, left, right, &ctx, &memory, &out));
   memory.Release(memory.current_bytes());
   if (memory.peak_bytes() > stats->peak_retained_bytes) {
     stats->peak_retained_bytes = memory.peak_bytes();
@@ -2018,6 +2238,13 @@ Status ValidateExecOptions(const ExecOptions& options) {
     return Status::InvalidArgument(
         "unknown storage_mode: " +
         std::to_string(static_cast<int>(options.storage_mode)));
+  }
+  if (options.stats_mode != StatsMode::kAuto &&
+      options.stats_mode != StatsMode::kOff &&
+      options.stats_mode != StatsMode::kForced) {
+    return Status::InvalidArgument(
+        "unknown stats_mode: " +
+        std::to_string(static_cast<int>(options.stats_mode)));
   }
   if (options.batch_size < 1 || options.batch_size > 65536) {
     // Batches above 64Ki tuples gain nothing (cancellation checks tick

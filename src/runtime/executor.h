@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "json/structural_index.h"
+#include "stats/collection_stats.h"
 #include "storage/storage_tier.h"
 #include "runtime/catalog.h"
 #include "runtime/memory.h"
@@ -56,6 +57,9 @@ struct PNode {
   /// partition, hash exchange of partials, global merge. Requires all
   /// aggs incremental (never kSequence).
   bool two_step = false;
+  /// Cost-model grace-hash fanout advice (DESIGN.md §15); honored only
+  /// while ExecOptions::spill_fanout sits at its default. 0 = none.
+  int spill_fanout_hint = 0;
 
   // kJoin
   PNodePtr left;
@@ -63,6 +67,11 @@ struct PNode {
   std::vector<ScalarEvalPtr> left_keys;
   std::vector<ScalarEvalPtr> right_keys;
   ScalarEvalPtr residual;  // optional extra predicate on joined tuples
+  /// Cost-model flip (DESIGN.md §15): build the hash table over the
+  /// (estimated smaller) left side and probe with the right, emitting
+  /// matches in canonical probe-left order via an index-pair sort so
+  /// the output bytes are identical either way.
+  bool build_left = false;
 
   // kSort
   std::vector<ScalarEvalPtr> sort_keys;
@@ -80,6 +89,12 @@ struct PhysicalPlan {
   /// (DESIGN.md §13); surfaces as ExecStats::exprs_compiled when the
   /// executor actually runs them vectorized.
   uint64_t exprs_compiled = 0;
+  /// Cost-model output (DESIGN.md §15): the planner's estimate of the
+  /// result cardinality (-1 = unknown) — the dispatcher sizes exchange
+  /// credit windows from it — and a human-readable record of each
+  /// stats-driven choice, for tests and EXPLAIN-style diagnostics.
+  double est_result_rows = -1;
+  std::vector<std::string> cost_choices;
 
   std::string ToString() const;
 };
@@ -146,8 +161,12 @@ struct ExecOptions {
   SpillMode spill = SpillMode::kDisabled;
   /// Hash-partition fan-out of a group-by spill flush (and of each
   /// recursive repartition of a skewed bucket). Must be >= 2 when
-  /// spilling is enabled.
-  int spill_fanout = 8;
+  /// spilling is enabled. While this sits at kDefaultSpillFanout, a
+  /// plan's cost-model fanout hint may adjust it (DESIGN.md §15); an
+  /// explicit setting always wins. Spilled results are byte-identical
+  /// to in-memory results at any fanout, so the hint is answer-safe.
+  static constexpr int kDefaultSpillFanout = 8;
+  int spill_fanout = kDefaultSpillFanout;
   /// Directory for temp run files; empty = the system temp directory.
   /// Must exist and be writable when spilling is enabled.
   std::string spill_dir;
@@ -173,8 +192,11 @@ struct ExecOptions {
   /// each collection file is split into newline-aligned morsels of
   /// about this many bytes and worker threads pull them from a shared
   /// queue, so one huge NDJSON file no longer serializes a scan stage.
-  /// 0 disables splitting (one morsel per file).
-  size_t morsel_bytes = 1 << 20;
+  /// 0 disables splitting (one morsel per file). While this sits at
+  /// kDefaultMorselBytes, a plan's cost-model morsel hint may adjust
+  /// the split size (DESIGN.md §15); an explicit setting always wins.
+  static constexpr size_t kDefaultMorselBytes = 1 << 20;
+  size_t morsel_bytes = kDefaultMorselBytes;
   /// Cooperative cancellation/deadline/fault checks at batch
   /// granularity. On by default; turning them off exists only so
   /// bench_service_throughput can measure their cost.
@@ -198,6 +220,11 @@ struct ExecOptions {
   /// In-memory budget for the storage cache; 0 keeps the manager's
   /// current budget (256 MiB default). LRU-evicted per file entry.
   uint64_t storage_budget_bytes = 0;
+  /// Sampled-statistics policy (DESIGN.md §15): whether scans build
+  /// PathStats samples and whether compilation consults them. kAuto
+  /// builds and consumes confident samples; JPAR_DISABLE_STATS forces
+  /// everything off.
+  StatsMode stats_mode = StatsMode::kAuto;
 };
 
 /// Checks an ExecOptions for values that would make execution
@@ -315,6 +342,15 @@ class Executor {
       ExecStats* stats) const;
   Result<PartitionSet> ExecGroupBy(const PNode& node, ExecStats* stats) const;
   Result<PartitionSet> ExecJoin(const PNode& node, ExecStats* stats) const;
+  /// One partition of the hash join, shared by ExecJoin and
+  /// JoinPartition. Canonically builds right / probes left; with
+  /// node.build_left the hash table is built over the left side and an
+  /// index-pair sort restores the canonical emit order, so the output
+  /// bytes are identical either way (DESIGN.md §15).
+  Status JoinOnePartition(const PNode& node, const std::vector<Tuple>& left,
+                          const std::vector<Tuple>& right, EvalContext* ctx,
+                          MemoryTracker* memory,
+                          std::vector<Tuple>* out) const;
   Result<PartitionSet> ExecSort(const PNode& node, ExecStats* stats) const;
 
   /// Hash-exchanges `input` into options_.partitions buckets by the
@@ -343,6 +379,16 @@ class Executor {
         break;
     }
     return !ExprBytecodeDisabledByEnv();
+  }
+
+  /// Group-by spill fanout after the plan's cost hint (DESIGN.md §15):
+  /// the hint applies only while the option sits at its default.
+  int EffectiveSpillFanout(const PNode& node) const {
+    if (node.spill_fanout_hint >= 2 &&
+        options_.spill_fanout == ExecOptions::kDefaultSpillFanout) {
+      return node.spill_fanout_hint;
+    }
+    return options_.spill_fanout;
   }
 
   /// The cooperative cancellation/deadline poll; OK without a context.

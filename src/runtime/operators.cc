@@ -107,6 +107,25 @@ std::string ScanDesc::ToString() const {
         out += " [index: " + PathToString(index_path) +
                " = " + index_value.ToJsonString() + "]";
       }
+      // Cost annotations print only when set, so stats-free plans keep
+      // their historical rendering.
+      switch (access_hint) {
+        case AccessHint::kAny:
+          break;
+        case AccessHint::kColumnar:
+          out += " [access: columnar]";
+          break;
+        case AccessHint::kTape:
+          out += " [access: tape]";
+          break;
+        case AccessHint::kCold:
+          out += " [access: cold]";
+          break;
+      }
+      if (est_rows >= 0) {
+        out += " [est-rows: " + std::to_string(static_cast<int64_t>(est_rows)) +
+               "]";
+      }
       return out;
     }
   }

@@ -150,6 +150,19 @@ Status RunBatchChain(const std::vector<UnaryOpDesc>& ops, TupleBatch* batch,
 Result<Tuple> RunSubplan(const SubplanDesc& subplan, const Tuple& seed,
                          EvalContext* ctx);
 
+/// Cost-model advice on which warm-storage path a DATASCAN should
+/// prefer (DESIGN.md §15). A hint only ever *narrows* the set of paths
+/// the resolved StorageMode allows — it can never re-enable a level the
+/// user (or a kill-switch) turned off — and every narrowing is
+/// answer-preserving, so a plan compiled against different stats on a
+/// distributed worker still returns identical bytes.
+enum class AccessHint : uint8_t {
+  kAny = 0,       // no advice: the executor's per-file default order
+  kColumnar = 1,  // selective predicate: invest in / serve from columns
+  kTape = 2,      // tapes only (columns neither built nor read)
+  kCold = 3,      // bypass the warm tier for this scan
+};
+
 /// The source of a pipeline.
 struct ScanDesc {
   enum class Kind : uint8_t {
@@ -182,6 +195,14 @@ struct ScanDesc {
   /// runs over surviving rows, so this is purely an accelerator.
   ZoneCompare zone_op = ZoneCompare::kNone;
   double zone_value = 0;
+
+  /// Cost-model annotations (DESIGN.md §15); all advisory and
+  /// answer-preserving. `morsel_bytes_hint` is honored only while
+  /// ExecOptions::morsel_bytes sits at its default, and `est_rows`
+  /// carries the planner's cardinality estimate for diagnostics.
+  AccessHint access_hint = AccessHint::kAny;
+  size_t morsel_bytes_hint = 0;
+  double est_rows = -1;
 
   std::string ToString() const;
 };

@@ -102,6 +102,11 @@ struct ExecStats {
   uint64_t columns_read = 0;   // files served from the columnar cache
   uint64_t blocks_pruned = 0;  // column blocks skipped via zone maps
 
+  /// Sampled statistics (DESIGN.md §15): (file, path) samples this
+  /// query contributed to the StatsStore; 0 when stats are off or
+  /// every sample was already fresh.
+  uint64_t stats_paths_built = 0;
+
   /// Failure recovery (DESIGN.md §12); all 0 when no worker was lost.
   uint64_t fragment_retries = 0;   // fragment re-dispatches after kWorkerLost
   uint64_t workers_respawned = 0;  // worker processes respawned mid-query
@@ -136,6 +141,7 @@ struct ExecStats {
     tape_builds += other.tape_builds;
     columns_read += other.columns_read;
     blocks_pruned += other.blocks_pruned;
+    stats_paths_built += other.stats_paths_built;
     dist_frames += other.dist_frames;
     dist_bytes += other.dist_bytes;
     fragment_retries += other.fragment_retries;

@@ -3,7 +3,8 @@
 namespace jpar {
 
 std::string PlanCache::Key(std::string_view query, const RuleOptions& rules,
-                           const ExecOptions& exec, uint64_t storage_epoch) {
+                           const ExecOptions& exec, uint64_t storage_epoch,
+                           uint64_t stats_epoch) {
   std::string key;
   key.reserve(query.size() + 64);
   key.append(query);
@@ -36,6 +37,16 @@ std::string PlanCache::Key(std::string_view query, const RuleOptions& rules,
   key += std::to_string(static_cast<int>(exec.storage_mode));
   key.push_back('@');
   key += std::to_string(storage_epoch);
+  // The stats mode and StatsStore epoch pin the sampled-statistics
+  // generation (DESIGN.md §15): fresh samples or invalidations advance
+  // the epoch, so cost-annotated plans recompile rather than replay
+  // choices made against stale estimates. Eventually consistent — the
+  // key is computed before compilation, so samples built *during* a
+  // run take effect on the next one.
+  key.push_back(',');
+  key += std::to_string(static_cast<int>(exec.stats_mode));
+  key.push_back('@');
+  key += std::to_string(stats_epoch);
   return key;
 }
 

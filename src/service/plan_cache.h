@@ -49,8 +49,12 @@ class PlanCache {
   /// StorageManager epoch (DESIGN.md §14): it advances whenever cached
   /// columns are installed or invalidated, so a plan compiled against
   /// one cache generation is never replayed against another.
+  /// `stats_epoch` does the same for the StatsStore (DESIGN.md §15):
+  /// it advances when samples are built, dropped stale, or cleared, so
+  /// cost-model plan choices are re-derived against current estimates.
   static std::string Key(std::string_view query, const RuleOptions& rules,
-                         const ExecOptions& exec, uint64_t storage_epoch = 0);
+                         const ExecOptions& exec, uint64_t storage_epoch = 0,
+                         uint64_t stats_epoch = 0);
 
   /// Returns the cached plan and promotes it to most-recently-used, or
   /// nullptr on a miss. Counts a hit or miss.

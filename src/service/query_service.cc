@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "stats/collection_stats.h"
 #include "storage/storage_tier.h"
 
 namespace jpar {
@@ -187,7 +188,8 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
   }
 
   std::string key = PlanCache::Key(query, opts.rules, opts.exec,
-                                   StorageManager::Instance().epoch());
+                                   StorageManager::Instance().epoch(),
+                                   StatsStore::Instance().epoch());
   // The session is kept alive for the query's whole lifetime even if
   // the client drops its handle right after Submit().
   std::shared_ptr<Session> self = session->shared_from_this();
@@ -227,7 +229,8 @@ QueryTicket QueryService::SubmitInternal(Session* session, std::string query,
         plan = plan_cache_.Lookup(key);
         cache_hit = plan != nullptr;
         if (!cache_hit) {
-          Result<CompiledQuery> compiled = engine_.Compile(query, opts.rules);
+          Result<CompiledQuery> compiled =
+              engine_.Compile(query, opts.rules, opts.exec);
           if (compiled.ok()) {
             plan = std::make_shared<const CompiledQuery>(*std::move(compiled));
             plan_cache_.Insert(key, plan);

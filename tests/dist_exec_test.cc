@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +18,7 @@
 #include "data/sensor_generator.h"
 #include "dist/dispatcher.h"
 #include "service/query_service.h"
+#include "stats/collection_stats.h"
 
 #ifndef JPAR_WORKER_BIN_PATH
 #error "build must define JPAR_WORKER_BIN_PATH (see tests/CMakeLists.txt)"
@@ -308,6 +314,91 @@ TEST(DistExecTest, RuleConfigurationsAgreeUnderDistribution) {
     EXPECT_EQ(Rows(*dist), Rows(*local));
     cluster.Stop();
   }
+}
+
+TEST(DistExecTest, StatsOnDistributedMatchesStatsOffInProcess) {
+  // Cost-model differential across the wire (DESIGN.md §15): workers
+  // recompile fragments against their own — possibly divergent — local
+  // statistics, and stats_mode travels in the fragment request. A
+  // stats-on distributed run must still return exactly the rows of a
+  // stats-off in-process run. The corpus lives on disk so both the
+  // coordinator and the workers genuinely sample it and share .jstats
+  // sidecars.
+  std::string tmpl = ::testing::TempDir() + "/jpar_dist_stats_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = ::mkdtemp(buf.data());
+  ASSERT_NE(made, nullptr);
+  const std::string dir = made;
+
+  SensorDataSpec spec;
+  spec.num_files = 5;
+  spec.records_per_file = 8;
+  spec.measurements_per_array = 16;
+  spec.num_stations = 6;
+  spec.seed = 7;
+  Collection disk;
+  for (int f = 0; f < spec.num_files; ++f) {
+    std::string path = dir + "/sensors_" + std::to_string(f) + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << GenerateSensorFile(spec, f);
+    out.close();
+    disk.files.push_back(JsonFile::FromPath(path));
+  }
+
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    StatsStore::Instance().Clear();
+
+    EngineOptions options;
+    options.rules = RuleOptions::All();
+    options.exec.partitions = workers;
+    Engine engine(options);
+    engine.catalog()->RegisterCollection("/sensors", disk);
+
+    ExecOptions off_exec = options.exec;
+    off_exec.stats_mode = StatsMode::kOff;
+
+    Cluster cluster(MakeDist(workers));
+    for (const char* query : kAllQueries) {
+      SCOPED_TRACE(query);
+      auto off_compiled = engine.Compile(query, options.rules, off_exec);
+      ASSERT_TRUE(off_compiled.ok()) << off_compiled.status().ToString();
+      auto off_local = engine.Execute(*off_compiled, off_exec);
+      ASSERT_TRUE(off_local.ok()) << off_local.status().ToString();
+
+      for (StatsMode mode : {StatsMode::kAuto, StatsMode::kForced}) {
+        ExecOptions on_exec = options.exec;
+        on_exec.stats_mode = mode;
+        // An in-process warm-up builds the sidecars the workers will
+        // load; the second compile then actually costs from them.
+        auto warm = engine.Compile(query, options.rules, on_exec);
+        ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+        ASSERT_TRUE(engine.Execute(*warm, on_exec).ok());
+
+        auto on_compiled = engine.Compile(query, options.rules, on_exec);
+        ASSERT_TRUE(on_compiled.ok()) << on_compiled.status().ToString();
+        ASSERT_TRUE(Cluster::CanDistribute(on_compiled->physical));
+        auto dist = cluster.Run(query, options.rules, on_exec, *on_compiled,
+                                *engine.catalog(), nullptr);
+        ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+        EXPECT_EQ(Rows(*dist), Rows(*off_local))
+            << "stats mode " << static_cast<int>(mode);
+        EXPECT_EQ(dist->stats.dist_workers, static_cast<uint64_t>(workers));
+      }
+    }
+    cluster.Stop();
+  }
+
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace
